@@ -1,0 +1,412 @@
+package iabc_test
+
+// The benchmark harness: one benchmark per paper experiment (E1–E10, see
+// DESIGN.md's experiment index and internal/experiments) plus
+// micro-benchmarks for the hot paths (the trimmed-mean update, the exact
+// condition checker, propagation, and both simulation engines).
+//
+// Run everything:   go test -bench=. -benchmem
+// One experiment:   go test -bench=BenchmarkE7 -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"iabc/internal/adversary"
+	"iabc/internal/async"
+	"iabc/internal/condition"
+	"iabc/internal/core"
+	"iabc/internal/experiments"
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+	"iabc/internal/sim"
+	"iabc/internal/topology"
+)
+
+// —— Experiment benchmarks: cost of regenerating each paper artifact. ——
+
+func BenchmarkE1Theorem1Attack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E1Theorem1Attack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Frozen {
+			b.Fatal("attack did not freeze the partition")
+		}
+	}
+}
+
+func BenchmarkE2Corollary2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E2Corollary2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("corollary 2 sweep failed")
+		}
+	}
+}
+
+func BenchmarkE3Corollary3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E3Corollary3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("corollary 3 sweep failed")
+		}
+	}
+}
+
+func BenchmarkE4Hypercube(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E4Hypercube()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("hypercube sweep failed")
+		}
+	}
+}
+
+func BenchmarkE5CoreNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E5CoreNetwork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("core network sweep failed")
+		}
+	}
+}
+
+func BenchmarkE6Chord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E6Chord()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("chord sweep failed")
+		}
+	}
+}
+
+func BenchmarkE7ConvergenceRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E7ConvergenceRate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("rate sweep failed")
+		}
+	}
+}
+
+func BenchmarkE8Async(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E8Async()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("async sweep failed")
+		}
+	}
+}
+
+func BenchmarkE9TrimAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E9RuleAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("ablation failed")
+		}
+	}
+}
+
+func BenchmarkE10Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E10Scaling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("scaling failed")
+		}
+	}
+}
+
+func BenchmarkE11Conjecture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E11Conjecture()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.F1.ConjectureHolds || !r.F2.ConjectureHolds {
+			b.Fatal("conjecture verdict changed")
+		}
+	}
+}
+
+func BenchmarkE12Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E12Density()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("density sweep failed")
+		}
+	}
+}
+
+func BenchmarkE13Connectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E13Connectivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("connectivity comparison failed")
+		}
+	}
+}
+
+func BenchmarkE14ReducedCrossCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E14ReducedCrossCheck()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("cross-check failed")
+		}
+	}
+}
+
+func BenchmarkE15Delayed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E15Delayed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatal("staleness sweep failed")
+		}
+	}
+}
+
+// —— Micro-benchmarks: the hot paths behind the experiments. ——
+
+// BenchmarkTrimmedMeanUpdate measures one Z_i evaluation (equation (2)) at
+// realistic in-degrees.
+func BenchmarkTrimmedMeanUpdate(b *testing.B) {
+	rule := core.TrimmedMean{}
+	for _, tc := range []struct{ inDeg, f int }{
+		{3, 1}, {7, 2}, {15, 3}, {63, 5},
+	} {
+		rng := rand.New(rand.NewSource(1))
+		received := make([]core.ValueFrom, tc.inDeg)
+		for i := range received {
+			received[i] = core.ValueFrom{From: i, Value: rng.Float64()}
+		}
+		b.Run(benchName("indeg", tc.inDeg, "f", tc.f), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rule.Update(0.5, received, tc.f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConditionCheck measures the exact Theorem 1 decision across the
+// families the paper studies.
+func BenchmarkConditionCheck(b *testing.B) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		f    int
+	}{
+		{"core_n7_f2", mustCore(b, 7, 2), 2},
+		{"core_n13_f4", mustCore(b, 13, 4), 4},
+		{"chord_n7_f2", mustChord(b, 7, 2), 2},
+		{"chord_n16_f2", mustChord(b, 16, 2), 2},
+		{"hypercube_d4_f1", mustCube(b, 4), 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := condition.Check(tc.g, tc.f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func mustCore(tb testing.TB, n, f int) *graph.Graph {
+	tb.Helper()
+	g, err := topology.CoreNetwork(n, f)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func mustChord(tb testing.TB, n, f int) *graph.Graph {
+	tb.Helper()
+	g, err := topology.Chord(n, f)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func mustCube(tb testing.TB, d int) *graph.Graph {
+	tb.Helper()
+	g, err := topology.Hypercube(d)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// benchName builds names like "indeg=7/f=2".
+func benchName(k1 string, v1 int, k2 string, v2 int) string {
+	return fmt.Sprintf("%s=%d/%s=%d", k1, v1, k2, v2)
+}
+
+// BenchmarkPropagates measures Definition 3 on a long chain (worst-case
+// step count).
+func BenchmarkPropagates(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		g, err := topology.DirectedCycle(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := nodeset.FromMembers(n, 0)
+		rest := a.Complement()
+		b.Run(benchName("cycle", n, "th", 1), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := condition.Propagates(g, a, rest, 1)
+				if err != nil || !p.OK {
+					b.Fatalf("err=%v ok=%v", err, p.OK)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRound compares the two engines' per-round throughput on a
+// mid-sized core network under attack.
+func BenchmarkEngineRound(b *testing.B) {
+	const (
+		n, f   = 16, 2
+		rounds = 100
+	)
+	g := mustCore(b, n, f)
+	faulty := nodeset.FromMembers(n, 0, 1)
+	initial := make([]float64, n)
+	for i := range initial {
+		initial[i] = float64(i)
+	}
+	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Concurrent{}} {
+		b.Run(eng.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr, err := eng.Run(sim.Config{
+					G: g, F: f, Faulty: faulty, Initial: initial,
+					Rule:      core.TrimmedMean{},
+					Adversary: adversary.Hug{High: true},
+					MaxRounds: rounds,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tr.Rounds != rounds {
+					b.Fatalf("rounds = %d", tr.Rounds)
+				}
+			}
+			b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+}
+
+// BenchmarkAsyncRun measures the discrete-event engine end to end.
+func BenchmarkAsyncRun(b *testing.B) {
+	g, err := topology.Complete(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	initial := []float64{0, 1, 2, 3, 4, 5, 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := async.Run(async.Config{
+			G: g, F: 1, Faulty: nodeset.FromMembers(7, 6),
+			Initial: initial, Rule: core.TrimmedMean{},
+			Adversary: adversary.Extremes{Amplitude: 10},
+			Delays:    &async.Uniform{B: 2, Rng: rand.New(rand.NewSource(int64(i)))},
+			MaxRounds: 100, Epsilon: 1e-6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tr.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkConditionCheckParallel contrasts the parallel checker with the
+// sequential one (BenchmarkConditionCheck/core_n13_f4 is the comparable
+// sequential row).
+func BenchmarkConditionCheckParallel(b *testing.B) {
+	g := mustCore(b, 13, 4)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := condition.CheckParallel(g, 4, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Satisfied {
+					b.Fatal("core(13,4) should satisfy")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaxF measures the full tolerance search on K10 (answers f = 3).
+func BenchmarkMaxF(b *testing.B) {
+	g, err := topology.Complete(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		maxF, err := condition.MaxF(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if maxF != 3 {
+			b.Fatalf("MaxF = %d", maxF)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package iabc reproduces "Iterative Approximate Byzantine Consensus in
+// Arbitrary Directed Graphs" (Vaidya, Tseng, Liang; PODC 2012) as a
+// production-quality Go library.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — Algorithm 1 (the trimmed-mean update) and the
+//     UpdateRule abstraction;
+//   - internal/condition — the tight necessary & sufficient condition of
+//     Theorem 1, propagation machinery, exact checker with witnesses;
+//   - internal/sim, internal/async — synchronous and asynchronous engines;
+//   - internal/adversary — Byzantine strategies;
+//   - internal/graph, internal/topology, internal/nodeset — substrates;
+//   - internal/analysis — α, Lemma 5 contraction bounds, rate measurement;
+//   - internal/experiments — one reproduction per paper artifact (E1–E10).
+//
+// bench_test.go in this directory hosts the benchmark harness: one
+// Benchmark per experiment plus micro-benchmarks for the hot paths. See
+// README.md for a guided tour and EXPERIMENTS.md for paper-vs-measured
+// results.
+package iabc

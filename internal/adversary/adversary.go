@@ -1,0 +1,217 @@
+// Package adversary implements Byzantine fault strategies matching the
+// paper's failure model (Section 2.2): faulty nodes may send incorrect and
+// mismatching values to different out-neighbors, may collude, and have
+// complete knowledge of the state of every node and of the algorithm.
+//
+// A Strategy receives a RoundView — the omniscient global snapshot — and
+// decides, per faulty sender, the value delivered on each outgoing edge.
+// Returning no entry for a receiver models omission; the synchronous engine
+// substitutes the sender's ghost state (indistinguishable, to the receiver,
+// from a Byzantine node that chose to send that value), while the
+// asynchronous engine delivers nothing.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+)
+
+// RoundView is the omniscient snapshot handed to strategies at the start of
+// each iteration, before messages are exchanged.
+type RoundView struct {
+	// Round is the iteration about to execute (1-based).
+	Round int
+	// G is the communication graph.
+	G *graph.Graph
+	// F is the algorithm's fault-tolerance parameter.
+	F int
+	// Faulty is the actual fault set.
+	Faulty nodeset.Set
+	// States holds every node's current state v_j[t−1]. Entries for faulty
+	// nodes are engine-maintained ghost states (what the node would hold if
+	// it ran the algorithm); strategies are free to ignore them.
+	States []float64
+	// Lo and Hi are µ[t−1] and U[t−1]: the extremes over fault-free nodes.
+	Lo, Hi float64
+}
+
+// Strategy decides what a faulty node transmits. Implementations must be
+// deterministic given their configuration (seeded *rand.Rand for randomized
+// ones) so simulations are reproducible.
+type Strategy interface {
+	// Name identifies the strategy in traces and benchmarks.
+	Name() string
+	// Messages returns the value sender transmits to each out-neighbor this
+	// round, keyed by receiver. Omitted receivers get no message.
+	Messages(view RoundView, sender int) map[int]float64
+}
+
+// Conforming behaves exactly like a fault-free node: it sends the ghost
+// state on every outgoing edge. Useful as a control in experiments.
+type Conforming struct{}
+
+var _ Strategy = Conforming{}
+
+// Name implements Strategy.
+func (Conforming) Name() string { return "conforming" }
+
+// Messages sends the ghost state to all out-neighbors.
+func (Conforming) Messages(view RoundView, sender int) map[int]float64 {
+	out := make(map[int]float64)
+	for _, to := range view.G.OutNeighbors(sender) {
+		out[to] = view.States[sender]
+	}
+	return out
+}
+
+// Fixed sends a constant value on every edge, every round — the classic
+// "stubborn" fault. With Value outside the initial input range it doubles
+// as a validity stress test: Algorithm 1 must trim it away.
+type Fixed struct {
+	Value float64
+}
+
+var _ Strategy = Fixed{}
+
+// Name implements Strategy.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%g)", f.Value) }
+
+// Messages sends Value to all out-neighbors.
+func (f Fixed) Messages(view RoundView, sender int) map[int]float64 {
+	out := make(map[int]float64)
+	for _, to := range view.G.OutNeighbors(sender) {
+		out[to] = f.Value
+	}
+	return out
+}
+
+// Silent omits every message — a crash-like fault. The synchronous engine
+// substitutes the ghost state (see package comment); the asynchronous engine
+// genuinely withholds, exercising the wait-for-|N⁻|−f quorum path.
+type Silent struct{}
+
+var _ Strategy = Silent{}
+
+// Name implements Strategy.
+func (Silent) Name() string { return "silent" }
+
+// Messages returns an empty map.
+func (Silent) Messages(RoundView, int) map[int]float64 { return map[int]float64{} }
+
+// RandomNoise sends an independent uniform value in [Lo, Hi] on every edge,
+// every round — maximal equivocation. Rng must be non-nil and is used only
+// from the engine's coordinator, so no locking is needed.
+type RandomNoise struct {
+	Rng    *rand.Rand
+	Lo, Hi float64
+}
+
+var _ Strategy = (*RandomNoise)(nil)
+
+// Name implements Strategy.
+func (r *RandomNoise) Name() string { return fmt.Sprintf("noise[%g,%g]", r.Lo, r.Hi) }
+
+// Messages draws one uniform sample per out-neighbor.
+func (r *RandomNoise) Messages(view RoundView, sender int) map[int]float64 {
+	out := make(map[int]float64)
+	for _, to := range view.G.OutNeighbors(sender) {
+		out[to] = r.Lo + r.Rng.Float64()*(r.Hi-r.Lo)
+	}
+	return out
+}
+
+// Extremes splits receivers: even-ID receivers get U[t−1]+Amplitude,
+// odd-ID receivers get µ[t−1]−Amplitude. It equivocates maximally in
+// opposite directions, the generic version of the Theorem 1 attack.
+type Extremes struct {
+	Amplitude float64
+}
+
+var _ Strategy = Extremes{}
+
+// Name implements Strategy.
+func (e Extremes) Name() string { return fmt.Sprintf("extremes(±%g)", e.Amplitude) }
+
+// Messages sends Hi+Amplitude to even receivers, Lo−Amplitude to odd.
+func (e Extremes) Messages(view RoundView, sender int) map[int]float64 {
+	out := make(map[int]float64)
+	for _, to := range view.G.OutNeighbors(sender) {
+		if to%2 == 0 {
+			out[to] = view.Hi + e.Amplitude
+		} else {
+			out[to] = view.Lo - e.Amplitude
+		}
+	}
+	return out
+}
+
+// PartitionAttack is the adversary from the proof of Theorem 1. Given a
+// violating partition (F = the faulty set running this strategy, L, R, C),
+// it sends Low−Eps to nodes in L, High+Eps to nodes in R, and
+// (Low+High)/2 to nodes in C. On a graph that violates Theorem 1, with L
+// starting at Low and R at High, this freezes L at Low and R at High
+// forever — the constructive impossibility that experiment E1 demonstrates.
+type PartitionAttack struct {
+	L, R nodeset.Set
+	// Low and High are the input values m and M of the proof (Low < High).
+	Low, High float64
+	// Eps is how far outside [Low, High] the lies sit (m⁻ = Low−Eps,
+	// M⁺ = High+Eps). Must be > 0.
+	Eps float64
+}
+
+var _ Strategy = PartitionAttack{}
+
+// Name implements Strategy.
+func (PartitionAttack) Name() string { return "partition-attack" }
+
+// Messages sends m⁻ into L, M⁺ into R, and the midpoint into C.
+func (p PartitionAttack) Messages(view RoundView, sender int) map[int]float64 {
+	out := make(map[int]float64)
+	for _, to := range view.G.OutNeighbors(sender) {
+		switch {
+		case p.L.Contains(to):
+			out[to] = p.Low - p.Eps
+		case p.R.Contains(to):
+			out[to] = p.High + p.Eps
+		default:
+			out[to] = (p.Low + p.High) / 2
+		}
+	}
+	return out
+}
+
+// Hug sends the current extreme of the fault-free range (U[t−1] if High,
+// else µ[t−1]) on every edge. The value is always inside the valid range,
+// so it is never distinguishable from a slow fault-free node, yet it drags
+// the average toward the extreme every round — the canonical worst case for
+// convergence rate (experiment E7 measures the slowdown).
+type Hug struct {
+	High bool
+}
+
+var _ Strategy = Hug{}
+
+// Name implements Strategy.
+func (h Hug) Name() string {
+	if h.High {
+		return "hug-high"
+	}
+	return "hug-low"
+}
+
+// Messages sends the hugged extreme to all out-neighbors.
+func (h Hug) Messages(view RoundView, sender int) map[int]float64 {
+	v := view.Lo
+	if h.High {
+		v = view.Hi
+	}
+	out := make(map[int]float64)
+	for _, to := range view.G.OutNeighbors(sender) {
+		out[to] = v
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"iabc/internal/nodeset"
+	"iabc/internal/topology"
+)
+
+// view builds a RoundView over K5 with node 4 faulty and fault-free states
+// 1..4 (so Lo=1, Hi=4).
+func view(t *testing.T) RoundView {
+	t.Helper()
+	g, err := topology.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RoundView{
+		Round:  1,
+		G:      g,
+		F:      1,
+		Faulty: nodeset.FromMembers(5, 4),
+		States: []float64{1, 2, 3, 4, 2.5},
+		Lo:     1,
+		Hi:     4,
+	}
+}
+
+func TestConforming(t *testing.T) {
+	v := view(t)
+	msgs := Conforming{}.Messages(v, 4)
+	if len(msgs) != 4 {
+		t.Fatalf("got %d messages, want 4", len(msgs))
+	}
+	for to, val := range msgs {
+		if val != 2.5 {
+			t.Errorf("to %d: %v, want ghost state 2.5", to, val)
+		}
+	}
+}
+
+func TestFixed(t *testing.T) {
+	v := view(t)
+	msgs := Fixed{Value: 99}.Messages(v, 4)
+	for to, val := range msgs {
+		if val != 99 {
+			t.Errorf("to %d: %v, want 99", to, val)
+		}
+	}
+	if got := (Fixed{Value: 99}).Name(); got != "fixed(99)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestSilent(t *testing.T) {
+	if got := (Silent{}).Messages(view(t), 4); len(got) != 0 {
+		t.Fatalf("Silent sent %v", got)
+	}
+}
+
+func TestRandomNoiseDeterministicPerSeed(t *testing.T) {
+	v := view(t)
+	a := &RandomNoise{Rng: rand.New(rand.NewSource(5)), Lo: -1, Hi: 1}
+	b := &RandomNoise{Rng: rand.New(rand.NewSource(5)), Lo: -1, Hi: 1}
+	ma := a.Messages(v, 4)
+	mb := b.Messages(v, 4)
+	if len(ma) != 4 {
+		t.Fatalf("got %d messages", len(ma))
+	}
+	for to := range ma {
+		if ma[to] != mb[to] {
+			t.Fatal("same seed produced different noise")
+		}
+		if ma[to] < -1 || ma[to] > 1 {
+			t.Fatalf("noise %v outside [-1,1]", ma[to])
+		}
+	}
+}
+
+func TestExtremesSplit(t *testing.T) {
+	v := view(t)
+	msgs := Extremes{Amplitude: 10}.Messages(v, 4)
+	for to, val := range msgs {
+		if to%2 == 0 && val != v.Hi+10 {
+			t.Errorf("even receiver %d got %v, want %v", to, val, v.Hi+10)
+		}
+		if to%2 == 1 && val != v.Lo-10 {
+			t.Errorf("odd receiver %d got %v, want %v", to, val, v.Lo-10)
+		}
+	}
+}
+
+func TestPartitionAttack(t *testing.T) {
+	v := view(t)
+	p := PartitionAttack{
+		L:    nodeset.FromMembers(5, 0, 1),
+		R:    nodeset.FromMembers(5, 2),
+		Low:  0,
+		High: 1,
+		Eps:  0.5,
+	}
+	msgs := p.Messages(v, 4)
+	if msgs[0] != -0.5 || msgs[1] != -0.5 {
+		t.Errorf("L receivers got %v/%v, want -0.5", msgs[0], msgs[1])
+	}
+	if msgs[2] != 1.5 {
+		t.Errorf("R receiver got %v, want 1.5", msgs[2])
+	}
+	if msgs[3] != 0.5 {
+		t.Errorf("C receiver got %v, want midpoint 0.5", msgs[3])
+	}
+}
+
+func TestHug(t *testing.T) {
+	v := view(t)
+	high := Hug{High: true}.Messages(v, 4)
+	low := Hug{}.Messages(v, 4)
+	for to := range high {
+		if high[to] != v.Hi {
+			t.Errorf("hug-high to %d = %v, want %v", to, high[to], v.Hi)
+		}
+		if low[to] != v.Lo {
+			t.Errorf("hug-low to %d = %v, want %v", to, low[to], v.Lo)
+		}
+	}
+	if (Hug{High: true}).Name() == (Hug{}).Name() {
+		t.Error("hug names should differ by direction")
+	}
+}
+
+func TestMessagesRespectOutEdges(t *testing.T) {
+	// On a sparse graph, strategies must only message actual out-neighbors.
+	g, err := topology.DirectedCycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := RoundView{
+		Round: 1, G: g, F: 1,
+		Faulty: nodeset.FromMembers(5, 0),
+		States: []float64{0, 1, 2, 3, 4},
+		Lo:     1, Hi: 4,
+	}
+	strategies := []Strategy{
+		Conforming{}, Fixed{Value: 1}, Extremes{Amplitude: 1},
+		&RandomNoise{Rng: rand.New(rand.NewSource(1)), Lo: 0, Hi: 1},
+		Hug{High: true},
+		PartitionAttack{L: nodeset.FromMembers(5, 1), R: nodeset.FromMembers(5, 2), Low: 0, High: 1, Eps: 1},
+	}
+	for _, s := range strategies {
+		msgs := s.Messages(v, 0)
+		for to := range msgs {
+			if !g.HasEdge(0, to) {
+				t.Errorf("%s messaged non-neighbor %d", s.Name(), to)
+			}
+		}
+		if len(msgs) != 1 { // cycle: exactly one out-neighbor
+			t.Errorf("%s sent %d messages, want 1", s.Name(), len(msgs))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Insider is the sharpest in-range attack in the suite: for each receiver it
+// inspects the receiver's own incoming values from fault-free nodes and
+// sends the value that maximally drags the receiver's update toward an
+// extreme while being guaranteed to survive trimming.
+//
+// Sending the global extreme (Hug) can be trimmed away when the receiver's
+// neighborhood doesn't contain the extreme holder; Insider instead sends the
+// (f+1)-th largest (or smallest) fault-free value in the receiver's own
+// in-neighborhood — at most f values exceed it, so after the f-largest are
+// discarded it always survives (possibly displaced by colluding copies of
+// itself, which carry the same value). This exploits the full omniscience
+// the failure model grants (Section 2.2).
+type Insider struct {
+	// High selects the drag direction.
+	High bool
+}
+
+var _ Strategy = Insider{}
+
+// Name implements Strategy.
+func (a Insider) Name() string {
+	if a.High {
+		return "insider-high"
+	}
+	return "insider-low"
+}
+
+// Messages implements Strategy.
+func (a Insider) Messages(view RoundView, sender int) map[int]float64 {
+	out := make(map[int]float64)
+	for _, to := range view.G.OutNeighbors(sender) {
+		out[to] = a.valueFor(view, to)
+	}
+	return out
+}
+
+// valueFor computes the surviving-extreme value for one receiver.
+func (a Insider) valueFor(view RoundView, receiver int) float64 {
+	var honest []float64
+	for _, from := range view.G.InNeighbors(receiver) {
+		if !view.Faulty.Contains(from) {
+			honest = append(honest, view.States[from])
+		}
+	}
+	if len(honest) == 0 {
+		// No honest in-neighbors to hide among; fall back to the hull edge.
+		if a.High {
+			return view.Hi
+		}
+		return view.Lo
+	}
+	sort.Float64s(honest)
+	k := view.F
+	if k >= len(honest) {
+		k = len(honest) - 1
+	}
+	if a.High {
+		// (f+1)-th largest honest value in the receiver's neighborhood.
+		return honest[len(honest)-1-k]
+	}
+	// (f+1)-th smallest.
+	return honest[k]
+}
+
+// String aids debugging.
+func (a Insider) String() string { return fmt.Sprintf("Insider{High:%v}", a.High) }

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"iabc/internal/condition"
+	"iabc/internal/graph"
+	"iabc/internal/sim"
+)
+
+// PhaseRecord is one phase of Theorem 3's inductive argument, replayed on a
+// recorded trace: at iteration Start the fault-free nodes are split at the
+// midpoint of their range; Lemma 2 guarantees one side propagates to the
+// other in Len steps; Lemma 5 then bounds the range contraction over those
+// Len rounds by Bound = 1 − α^Len/2.
+type PhaseRecord struct {
+	// Start is the iteration s the phase begins at.
+	Start int
+	// Len is l(s), the measured propagation length of the midpoint split.
+	Len int
+	// RSide reports which side of the split propagated: "low" or "high".
+	RSide string
+	// RangeStart and RangeEnd are U−µ at s and s+l(s).
+	RangeStart, RangeEnd float64
+	// Factor is RangeEnd/RangeStart; Bound is the Lemma 5 guarantee;
+	// Within is Factor ≤ Bound (up to floating-point slack).
+	Factor, Bound float64
+	Within        bool
+}
+
+// String renders the record compactly.
+func (p PhaseRecord) String() string {
+	return fmt.Sprintf("s=%d l=%d R=%s range %.3g→%.3g factor=%.4f bound=%.4f within=%v",
+		p.Start, p.Len, p.RSide, p.RangeStart, p.RangeEnd, p.Factor, p.Bound, p.Within)
+}
+
+// PhaseTrace replays Theorem 3 on a trace recorded with RecordStates: it
+// walks s = 0, s+l(0), s+l(0)+l(1), ... computing each phase's actual
+// propagation length via the Lemma 2 dichotomy and checking the Lemma 5
+// contraction (equation (21)) against the measurement. The walk stops when
+// the range falls below floor or the next phase would overrun the trace.
+//
+// A phase with Within == false would falsify Lemma 5 — the test suite
+// asserts this never happens for Algorithm 1 on condition-satisfying
+// graphs.
+func PhaseTrace(g *graph.Graph, f int, tr *sim.Trace, floor float64) ([]PhaseRecord, error) {
+	if tr.States == nil {
+		return nil, errors.New("analysis: trace was recorded without RecordStates")
+	}
+	alpha, err := Alpha(g, f)
+	if err != nil {
+		return nil, err
+	}
+	var phases []PhaseRecord
+	s := 0
+	for {
+		if tr.Range(s) <= floor {
+			return phases, nil
+		}
+		a, b := SplitAtMidpoint(tr.States[s], tr.FaultFree)
+		if a.Empty() || b.Empty() {
+			return phases, nil // all states coincide to float precision
+		}
+		dir, p, ok, err := condition.EitherPropagates(g, a, b, condition.SyncThreshold(f))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, errors.New("analysis: Lemma 2 dichotomy failed — graph violates Theorem 1")
+		}
+		// In the paper's naming the propagating side is R; A holds the low
+		// half of the split.
+		rSide := "low"
+		if dir == "B→A" {
+			rSide = "high"
+		}
+		if s+p.Steps > tr.Rounds {
+			return phases, nil // phase extends past the recorded trace
+		}
+		rec := PhaseRecord{
+			Start:      s,
+			Len:        p.Steps,
+			RSide:      rSide,
+			RangeStart: tr.Range(s),
+			RangeEnd:   tr.Range(s + p.Steps),
+			Bound:      ContractionBound(alpha, p.Steps),
+		}
+		rec.Factor = rec.RangeEnd / rec.RangeStart
+		rec.Within = rec.Factor <= rec.Bound+1e-9
+		phases = append(phases, rec)
+		s += p.Steps
+	}
+}

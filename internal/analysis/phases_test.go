@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iabc/internal/adversary"
+	"iabc/internal/core"
+	"iabc/internal/nodeset"
+	"iabc/internal/sim"
+	"iabc/internal/topology"
+	"iabc/internal/workload"
+)
+
+func TestPhaseTraceHonorsLemma5(t *testing.T) {
+	// Replay Theorem 3's induction on real traces: every phase must
+	// contract at least as much as (1 − α^{l(s)}/2).
+	for _, tc := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}} {
+		g, err := topology.CoreNetwork(tc.n, tc.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty := nodeset.New(tc.n)
+		for i := 0; i < tc.f; i++ {
+			faulty.Add(i)
+		}
+		tr, err := sim.Sequential{}.Run(sim.Config{
+			G: g, F: tc.f, Faulty: faulty,
+			Initial:   workload.Bimodal(tc.n, 0, 1),
+			Rule:      core.TrimmedMean{},
+			Adversary: adversary.Hug{High: true},
+			MaxRounds: 500, Epsilon: 1e-9, RecordStates: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases, err := PhaseTrace(g, tc.f, tr, 1e-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(phases) == 0 {
+			t.Fatalf("n=%d f=%d: no phases recorded", tc.n, tc.f)
+		}
+		for _, p := range phases {
+			if !p.Within {
+				t.Errorf("n=%d f=%d: phase violates Lemma 5: %v", tc.n, tc.f, p)
+			}
+			if p.Len < 1 || p.Len > WorstCaseSteps(tc.n, tc.f) {
+				t.Errorf("n=%d f=%d: phase length %d outside [1,%d]", tc.n, tc.f, p.Len, WorstCaseSteps(tc.n, tc.f))
+			}
+			if p.RSide != "low" && p.RSide != "high" {
+				t.Errorf("bad RSide %q", p.RSide)
+			}
+		}
+		// Phases must tile the trace: consecutive starts differ by Len.
+		for i := 1; i < len(phases); i++ {
+			if phases[i].Start != phases[i-1].Start+phases[i-1].Len {
+				t.Errorf("phase %d starts at %d, want %d", i, phases[i].Start, phases[i-1].Start+phases[i-1].Len)
+			}
+		}
+	}
+}
+
+func TestPhaseTraceRandomGraphs(t *testing.T) {
+	// Same property on random Theorem 1-satisfying graphs.
+	rng := rand.New(rand.NewSource(71))
+	tested := 0
+	for trial := 0; trial < 40 && tested < 8; trial++ {
+		n := 5 + rng.Intn(4)
+		g, err := topology.RandomDigraph(n, 0.85, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.MinInDegree() < 3 {
+			continue
+		}
+		if _, err := Alpha(g, 1); err != nil {
+			continue
+		}
+		tr, err := sim.Sequential{}.Run(sim.Config{
+			G: g, F: 1, Faulty: nodeset.FromMembers(n, n-1),
+			Initial:   workload.Uniform(n, 0, 1, rng),
+			Rule:      core.TrimmedMean{},
+			Adversary: adversary.Extremes{Amplitude: 5},
+			MaxRounds: 400, Epsilon: 1e-9, RecordStates: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases, err := PhaseTrace(g, 1, tr, 1e-8)
+		if err != nil {
+			// Dichotomy failure means the random graph violates Theorem 1 —
+			// skip, that is E1 territory.
+			if strings.Contains(err.Error(), "violates") {
+				continue
+			}
+			t.Fatal(err)
+		}
+		tested++
+		for _, p := range phases {
+			if !p.Within {
+				t.Errorf("phase violates Lemma 5 on random graph: %v\n%s", p, g.EdgeListString())
+			}
+		}
+	}
+	if tested < 3 {
+		t.Fatalf("only %d random graphs exercised", tested)
+	}
+}
+
+func TestPhaseTraceRequiresStates(t *testing.T) {
+	g, err := topology.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Sequential{}.Run(sim.Config{
+		G: g, F: 1, Initial: workload.Ramp(4),
+		Rule: core.TrimmedMean{}, MaxRounds: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PhaseTrace(g, 1, tr, 0); err == nil {
+		t.Fatal("missing RecordStates should error")
+	}
+}
+
+func TestPhaseRecordString(t *testing.T) {
+	p := PhaseRecord{Start: 3, Len: 2, RSide: "low", RangeStart: 1, RangeEnd: 0.5, Factor: 0.5, Bound: 0.875, Within: true}
+	s := p.String()
+	for _, want := range []string{"s=3", "l=2", "R=low", "within=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package async
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the asynchronous range history as a CSV time series —
+// the data behind range-vs-simulation-time convergence figures. Columns:
+// time, range.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "range"}); err != nil {
+		return err
+	}
+	for _, p := range t.History {
+		row := []string{
+			strconv.FormatFloat(p.Time, 'g', 17, 64),
+			strconv.FormatFloat(p.Range, 'g', 17, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

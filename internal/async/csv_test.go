@@ -1,0 +1,39 @@
+package async
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"iabc/internal/core"
+	"iabc/internal/topology"
+)
+
+func TestWriteCSV(t *testing.T) {
+	g, err := topology.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(Config{
+		G: g, F: 0, Initial: []float64{0, 1, 2, 3, 4},
+		Rule: core.TrimmedMean{}, Delays: Fixed{D: 1},
+		MaxRounds: 10, Epsilon: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(tr.History)+1 {
+		t.Fatalf("rows = %d, want %d", len(records), len(tr.History)+1)
+	}
+	if records[0][0] != "time" || records[0][1] != "range" {
+		t.Fatalf("header = %v", records[0])
+	}
+}

@@ -1,0 +1,367 @@
+package async
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"iabc/internal/adversary"
+	"iabc/internal/core"
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+)
+
+// Config describes one asynchronous run.
+type Config struct {
+	// G is the communication graph.
+	G *graph.Graph
+	// F is the fault-tolerance parameter.
+	F int
+	// Faulty is the actual fault set (|Faulty| ≤ F for guarantees).
+	Faulty nodeset.Set
+	// Initial holds v_i[0], length G.N().
+	Initial []float64
+	// Rule is the update rule; core.TrimmedMean realizes the Section 7
+	// algorithm when fed the |N⁻_i|−F quorum vector.
+	Rule core.UpdateRule
+	// Adversary decides faulty transmissions; omitted receivers genuinely
+	// receive nothing (unlike the synchronous engine). May be nil iff
+	// Faulty is empty.
+	Adversary adversary.Strategy
+	// Delays assigns per-message delays. Required.
+	Delays DelayPolicy
+	// MaxRounds caps every node's round counter.
+	MaxRounds int
+	// Epsilon, when > 0, stops once the fault-free range is ≤ Epsilon.
+	Epsilon float64
+	// FaultyTick is the interval at which faulty nodes emit their round-k
+	// message batches (they are not bound by the protocol; a tick of 0
+	// defaults to 1.0).
+	FaultyTick float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.G == nil {
+		return errors.New("async: nil graph")
+	}
+	n := c.G.N()
+	if len(c.Initial) != n {
+		return fmt.Errorf("async: len(Initial) = %d, want n = %d", len(c.Initial), n)
+	}
+	if c.Rule == nil {
+		return errors.New("async: nil update rule")
+	}
+	if c.Delays == nil {
+		return errors.New("async: nil delay policy")
+	}
+	if c.MaxRounds < 1 {
+		return fmt.Errorf("async: MaxRounds must be ≥ 1, got %d", c.MaxRounds)
+	}
+	if c.F < 0 {
+		return fmt.Errorf("async: negative F %d", c.F)
+	}
+	if c.Faulty.Cap() != 0 && c.Faulty.Cap() != n {
+		return fmt.Errorf("async: Faulty set capacity %d does not match n = %d", c.Faulty.Cap(), n)
+	}
+	if !c.faulty().Empty() && c.Adversary == nil {
+		return errors.New("async: faulty nodes configured but Adversary is nil")
+	}
+	if c.faulty().Count() == n {
+		return errors.New("async: all nodes faulty")
+	}
+	var err error
+	c.faulty().Complement().ForEach(func(i int) bool {
+		quorum := c.G.InDegree(i) - c.F
+		if e := c.Rule.Validate(quorum, c.F); e != nil {
+			err = fmt.Errorf("async: node %d (in-degree %d, quorum %d): %w", i, c.G.InDegree(i), quorum, e)
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+func (c *Config) faulty() nodeset.Set {
+	if c.Faulty.Cap() == 0 {
+		return nodeset.New(c.G.N())
+	}
+	return c.Faulty
+}
+
+// RangePoint samples the fault-free range at a simulation time.
+type RangePoint struct {
+	Time  float64
+	Range float64
+}
+
+// Trace records an asynchronous run.
+type Trace struct {
+	// Converged reports whether the Epsilon stop fired.
+	Converged bool
+	// Stalled is true if the event queue drained while some fault-free node
+	// had not reached MaxRounds and Epsilon had not fired — progress
+	// starvation (e.g. more than F silent faulty in-neighbors).
+	Stalled bool
+	// Time is the simulation time at which the run ended.
+	Time float64
+	// Deliveries counts messages delivered.
+	Deliveries int
+	// Rounds[i] is node i's final round counter.
+	Rounds []int
+	// Final is the final state vector (faulty entries are their initial
+	// values — the engine does not model faulty internal state).
+	Final []float64
+	// History samples the fault-free range after every state change.
+	History []RangePoint
+	// InitialRange is U[0] − µ[0] over fault-free nodes.
+	InitialRange float64
+}
+
+// MinRound returns the smallest round counter among fault-free nodes.
+func (t *Trace) MinRound(faultFree nodeset.Set) int {
+	min := math.MaxInt
+	faultFree.ForEach(func(i int) bool {
+		if t.Rounds[i] < min {
+			min = t.Rounds[i]
+		}
+		return true
+	})
+	return min
+}
+
+// event kinds.
+const (
+	evArrival = iota // a message reaches its receiver
+	evEmit           // a faulty node emits its round-k batch
+)
+
+type event struct {
+	at   float64
+	seq  int64 // FIFO tie-break for determinism
+	kind int
+
+	from, to int
+	round    int
+	value    float64
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Run executes the asynchronous simulation to completion.
+func Run(cfg Config) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.G.N()
+	faulty := cfg.faulty()
+	faultFree := faulty.Complement()
+	tick := cfg.FaultyTick
+	if tick == 0 {
+		tick = 1.0
+	}
+
+	states := make([]float64, n)
+	copy(states, cfg.Initial)
+	rounds := make([]int, n)
+	// inbox[i][round][from] = value; first arrival per (from, round) wins.
+	inbox := make([]map[int]map[int]float64, n)
+	for i := range inbox {
+		inbox[i] = make(map[int]map[int]float64)
+	}
+
+	var (
+		q   eventQueue
+		seq int64
+	)
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&q, e)
+	}
+
+	// send schedules the arrival of one round-tagged message.
+	send := func(now float64, from, to, round int, value float64) {
+		push(event{
+			at:    now + cfg.Delays.Delay(from, to, round),
+			kind:  evArrival,
+			from:  from,
+			to:    to,
+			round: round,
+			value: value,
+		})
+	}
+
+	lo, hi := faultFreeRange(states, faultFree)
+	tr := &Trace{
+		Rounds:       rounds,
+		InitialRange: hi - lo,
+		History:      []RangePoint{{Time: 0, Range: hi - lo}},
+	}
+
+	// Kick-off: fault-free nodes broadcast their round-0 state; faulty nodes
+	// get an emit event per tick.
+	faultFree.ForEach(func(i int) bool {
+		for _, to := range cfg.G.OutNeighbors(i) {
+			send(0, i, to, 0, states[i])
+		}
+		return true
+	})
+	faulty.ForEach(func(s int) bool {
+		push(event{at: 0, kind: evEmit, from: s, round: 0})
+		return true
+	})
+
+	// quorum[i] = |N⁻_i| − F: how many round-t values node i waits for.
+	quorum := make([]int, n)
+	for i := 0; i < n; i++ {
+		quorum[i] = cfg.G.InDegree(i) - cfg.F
+	}
+
+	recordRange := func(now float64) bool {
+		lo, hi := faultFreeRange(states, faultFree)
+		tr.History = append(tr.History, RangePoint{Time: now, Range: hi - lo})
+		if cfg.Epsilon > 0 && hi-lo <= cfg.Epsilon {
+			tr.Converged = true
+			return true
+		}
+		return false
+	}
+
+	var runErr error
+	for q.Len() > 0 && !tr.Converged && runErr == nil {
+		e := heap.Pop(&q).(event)
+		tr.Time = e.at
+		switch e.kind {
+		case evEmit:
+			emitFaulty(&cfg, e, states, faultFree, send)
+			if e.round+1 <= cfg.MaxRounds {
+				push(event{at: e.at + tick, kind: evEmit, from: e.from, round: e.round + 1})
+			}
+
+		case evArrival:
+			tr.Deliveries++
+			i := e.to
+			if !faultFree.Contains(i) {
+				// Faulty receivers discard; their behavior is the
+				// adversary's, not the protocol's.
+				continue
+			}
+			if e.round < rounds[i] {
+				continue // stale
+			}
+			byFrom, ok := inbox[i][e.round]
+			if !ok {
+				byFrom = make(map[int]float64)
+				inbox[i][e.round] = byFrom
+			}
+			if _, dup := byFrom[e.from]; dup {
+				continue // duplicates (equivocating re-sends) are dropped
+			}
+			byFrom[e.from] = e.value
+
+			// Advance as many rounds as the inbox now supports.
+			for rounds[i] < cfg.MaxRounds {
+				cur := inbox[i][rounds[i]]
+				if len(cur) < quorum[i] {
+					break
+				}
+				received := make([]core.ValueFrom, 0, len(cur))
+				for from, v := range cur {
+					received = append(received, core.ValueFrom{From: from, Value: v})
+				}
+				// Map iteration order is random; restore determinism. The
+				// node advances eagerly the moment the quorum fills, so
+				// len(received) == quorum[i] (the rule tolerates more if
+				// several arrivals ever shared one timestamp).
+				sortValues(received)
+				v, err := cfg.Rule.Update(states[i], received, cfg.F)
+				if err != nil {
+					runErr = fmt.Errorf("async: node %d round %d: %w", i, rounds[i], err)
+					break
+				}
+				delete(inbox[i], rounds[i])
+				states[i] = v
+				rounds[i]++
+				for _, to := range cfg.G.OutNeighbors(i) {
+					send(e.at, i, to, rounds[i], states[i])
+				}
+				if recordRange(e.at) {
+					break
+				}
+			}
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	if !tr.Converged && tr.MinRound(faultFree) < cfg.MaxRounds {
+		tr.Stalled = true
+	}
+	tr.Final = states
+	return tr, nil
+}
+
+// emitFaulty schedules one faulty node's round-k batch according to the
+// adversary strategy.
+func emitFaulty(cfg *Config, e event, states []float64, faultFree nodeset.Set, send func(now float64, from, to, round int, value float64)) {
+	lo, hi := faultFreeRange(states, faultFree)
+	view := adversary.RoundView{
+		Round:  e.round,
+		G:      cfg.G,
+		F:      cfg.F,
+		Faulty: cfg.faulty(),
+		States: states,
+		Lo:     lo,
+		Hi:     hi,
+	}
+	msgs := cfg.Adversary.Messages(view, e.from)
+	for _, to := range cfg.G.OutNeighbors(e.from) {
+		if v, ok := msgs[to]; ok {
+			send(e.at, e.from, to, e.round, v)
+		}
+		// Omitted receivers genuinely get nothing: asynchronous silence.
+	}
+}
+
+func faultFreeRange(states []float64, faultFree nodeset.Set) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	faultFree.ForEach(func(i int) bool {
+		if states[i] < lo {
+			lo = states[i]
+		}
+		if states[i] > hi {
+			hi = states[i]
+		}
+		return true
+	})
+	return lo, hi
+}
+
+// sortValues orders by (From) — senders are unique within a round batch.
+func sortValues(vals []core.ValueFrom) {
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j].From < vals[j-1].From; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"iabc/internal/adversary"
+	"iabc/internal/analysis"
+	"iabc/internal/condition"
+	"iabc/internal/core"
+	"iabc/internal/experiments"
+	"iabc/internal/nodeset"
+	"iabc/internal/sim"
+)
+
+const usage = `iabc — iterative approximate Byzantine consensus (Vaidya, Tseng, Liang; PODC 2012)
+
+Commands:
+  check        decide the Theorem 1 condition exactly (add -async for §7)
+  maxf         largest f the topology tolerates
+  run          simulate Algorithm 1 under a Byzantine adversary
+  repair       add edges until the topology satisfies the condition
+  sweep        family sweep (rounds-to-ε vs n) as CSV
+  topo         emit the topology (edge list or DOT)
+  experiments  regenerate every paper experiment table (E1–E15)
+  help         this text
+
+Run 'iabc <command> -h' for command flags. Topology specs:
+  complete:<n> core:<n>,<f> hypercube:<d> chord:<n>,<f> ring:<n> cycle:<n>
+  wheel:<n> star:<n> grid:<r>,<c> torus:<r>,<c> random:<n>,<p>,<seed>
+  file:<path>  -  (stdin edge list)
+`
+
+// Main dispatches the CLI and returns the process exit code.
+func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, usage)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "check":
+		err = cmdCheck(rest, stdin, stdout)
+	case "maxf":
+		err = cmdMaxF(rest, stdin, stdout)
+	case "run":
+		err = cmdRun(rest, stdin, stdout)
+	case "repair":
+		err = cmdRepair(rest, stdin, stdout)
+	case "sweep":
+		err = cmdSweep(rest, stdout)
+	case "topo":
+		err = cmdTopo(rest, stdin, stdout)
+	case "experiments":
+		err = experiments.RunAll(stdout)
+	case "help", "-h", "--help":
+		fmt.Fprint(stdout, usage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "iabc: unknown command %q\n\n%s", cmd, usage)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "iabc %s: %v\n", cmd, err)
+		return 1
+	}
+	return 0
+}
+
+func cmdCheck(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	topoSpec := fs.String("topo", "", "topology spec (required)")
+	f := fs.Int("f", 1, "fault-tolerance parameter")
+	asyncMode := fs.Bool("async", false, "use the §7 asynchronous condition (threshold 2f+1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := ParseTopo(*topoSpec, stdin)
+	if err != nil {
+		return err
+	}
+	screen := condition.QuickScreen(g, *f)
+	checkFn := condition.Check
+	if *asyncMode {
+		screen = condition.QuickScreenAsync(g, *f)
+		checkFn = condition.CheckAsync
+	}
+	for _, v := range screen {
+		fmt.Fprintf(stdout, "screen: %s\n", v)
+	}
+	res, err := checkFn(g, *f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "graph: %s  f=%d  async=%v\n", g, *f, *asyncMode)
+	if res.Satisfied {
+		fmt.Fprintf(stdout, "condition: SATISFIED — iterative approximate consensus is possible\n")
+	} else {
+		fmt.Fprintf(stdout, "condition: VIOLATED — witness %s\n", res.Witness)
+	}
+	fmt.Fprintf(stdout, "work: %d fault sets, %d candidate sets\n",
+		res.FaultSetsExamined, res.CandidatesExamined)
+	return nil
+}
+
+func cmdMaxF(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("maxf", flag.ContinueOnError)
+	topoSpec := fs.String("topo", "", "topology spec (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := ParseTopo(*topoSpec, stdin)
+	if err != nil {
+		return err
+	}
+	maxF, err := condition.MaxF(g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "graph: %s\n", g)
+	switch {
+	case maxF < 0:
+		fmt.Fprintln(stdout, "maxf: none — even f=0 fails (multiple source components)")
+	default:
+		fmt.Fprintf(stdout, "maxf: %d\n", maxF)
+		if alpha, err := analysis.Alpha(g, maxF); err == nil {
+			fmt.Fprintf(stdout, "alpha at maxf: %.6f\n", alpha)
+		}
+	}
+	return nil
+}
+
+// adversaries maps CLI names to constructors (seeded where needed).
+func adversaryByName(name string, seed int64) (adversary.Strategy, error) {
+	switch name {
+	case "", "none", "conforming":
+		return adversary.Conforming{}, nil
+	case "fixed-high":
+		return adversary.Fixed{Value: 1e6}, nil
+	case "fixed-low":
+		return adversary.Fixed{Value: -1e6}, nil
+	case "silent":
+		return adversary.Silent{}, nil
+	case "noise":
+		return &adversary.RandomNoise{Rng: rand.New(rand.NewSource(seed)), Lo: -1e3, Hi: 1e3}, nil
+	case "extremes":
+		return adversary.Extremes{Amplitude: 100}, nil
+	case "hug-high":
+		return adversary.Hug{High: true}, nil
+	case "hug-low":
+		return adversary.Hug{}, nil
+	default:
+		return nil, fmt.Errorf("cli: unknown adversary %q (conforming|fixed-high|fixed-low|silent|noise|extremes|hug-high|hug-low)", name)
+	}
+}
+
+func cmdRun(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	topoSpec := fs.String("topo", "", "topology spec (required)")
+	f := fs.Int("f", 1, "fault-tolerance parameter")
+	faultyList := fs.String("faulty", "", "comma-separated faulty node IDs")
+	advName := fs.String("adversary", "extremes", "byzantine strategy")
+	rounds := fs.Int("rounds", 10000, "maximum iterations")
+	eps := fs.Float64("eps", 1e-6, "convergence threshold on U−µ (0 = run all rounds)")
+	engineName := fs.String("engine", "sequential", "sequential|concurrent")
+	seed := fs.Int64("seed", 1, "seed for randomized pieces")
+	every := fs.Int("trace-every", 0, "print U, µ every k rounds (0 = summary only)")
+	csvPath := fs.String("csv", "", "write the round-by-round trace as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := ParseTopo(*topoSpec, stdin)
+	if err != nil {
+		return err
+	}
+	n := g.N()
+	ids, err := parseNodeList(*faultyList)
+	if err != nil {
+		return err
+	}
+	faulty := nodeset.New(n)
+	for _, id := range ids {
+		if id < 0 || id >= n {
+			return fmt.Errorf("cli: faulty node %d out of range [0,%d)", id, n)
+		}
+		faulty.Add(id)
+	}
+	strat, err := adversaryByName(*advName, *seed)
+	if err != nil {
+		return err
+	}
+	var engine sim.Engine
+	switch *engineName {
+	case "sequential":
+		engine = sim.Sequential{}
+	case "concurrent":
+		engine = sim.Concurrent{}
+	default:
+		return fmt.Errorf("cli: unknown engine %q", *engineName)
+	}
+	initial := make([]float64, n)
+	rng := rand.New(rand.NewSource(*seed))
+	for i := range initial {
+		initial[i] = rng.Float64() * 100
+	}
+	tr, err := engine.Run(sim.Config{
+		G: g, F: *f, Faulty: faulty, Initial: initial,
+		Rule: core.TrimmedMean{}, Adversary: strat,
+		MaxRounds: *rounds, Epsilon: *eps,
+		RecordStates: *csvPath != "",
+	})
+	if err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		file, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("cli: %w", err)
+		}
+		if err := tr.WriteCSV(file); err != nil {
+			file.Close()
+			return fmt.Errorf("cli: writing csv: %w", err)
+		}
+		if err := file.Close(); err != nil {
+			return fmt.Errorf("cli: %w", err)
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *csvPath)
+	}
+	fmt.Fprintf(stdout, "graph: %s  f=%d  faulty=%s  adversary=%s  engine=%s\n",
+		g, *f, faulty, strat.Name(), engine.Name())
+	if *every > 0 {
+		for r := 0; r <= tr.Rounds; r += *every {
+			fmt.Fprintf(stdout, "round %6d  U=%.8f  µ=%.8f  range=%.3e\n",
+				r, tr.U[r], tr.Mu[r], tr.Range(r))
+		}
+	}
+	fmt.Fprintf(stdout, "rounds: %d  converged: %v  final range: %.3e\n",
+		tr.Rounds, tr.Converged, tr.FinalRange())
+	if round, bad := tr.ValidityViolation(1e-9); bad {
+		fmt.Fprintf(stdout, "VALIDITY VIOLATED at round %d\n", round)
+	} else {
+		fmt.Fprintln(stdout, "validity: held throughout")
+	}
+	return nil
+}
+
+func cmdTopo(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("topo", flag.ContinueOnError)
+	topoSpec := fs.String("topo", "", "topology spec (required)")
+	format := fs.String("format", "edgelist", "edgelist|dot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := ParseTopo(*topoSpec, stdin)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "edgelist":
+		return g.WriteEdgeList(stdout)
+	case "dot":
+		name := strings.ReplaceAll(*topoSpec, ":", "_")
+		_, err := io.WriteString(stdout, g.DOT(name))
+		return err
+	default:
+		return fmt.Errorf("cli: unknown format %q", *format)
+	}
+}

@@ -1,0 +1,270 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run invokes Main with captured output.
+func run(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf strings.Builder
+	code = Main(args, strings.NewReader(stdin), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	code, _, stderr := run(t, "")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "Commands:") {
+		t.Errorf("usage missing from stderr: %q", stderr)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	code, stdout, _ := run(t, "", "help")
+	if code != 0 || !strings.Contains(stdout, "Commands:") {
+		t.Fatalf("help failed: code=%d out=%q", code, stdout)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, stderr := run(t, "", "frobnicate")
+	if code != 2 || !strings.Contains(stderr, "unknown command") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestCheckSatisfied(t *testing.T) {
+	code, stdout, _ := run(t, "", "check", "-topo", "core:7,2", "-f", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "SATISFIED") {
+		t.Errorf("output: %q", stdout)
+	}
+}
+
+func TestCheckViolated(t *testing.T) {
+	code, stdout, _ := run(t, "", "check", "-topo", "chord:7,2", "-f", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "VIOLATED") || !strings.Contains(stdout, "witness") {
+		t.Errorf("output: %q", stdout)
+	}
+}
+
+func TestCheckAsyncFlag(t *testing.T) {
+	code, stdout, _ := run(t, "", "check", "-topo", "complete:5", "-f", "1", "-async")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "VIOLATED") { // K5 fails n > 5f
+		t.Errorf("K5 async should be violated: %q", stdout)
+	}
+	if !strings.Contains(stdout, "screen: corollary2") {
+		t.Errorf("quick screen output missing: %q", stdout)
+	}
+}
+
+func TestCheckBadTopo(t *testing.T) {
+	code, _, stderr := run(t, "", "check", "-topo", "nosuch:4", "-f", "1")
+	if code != 1 || !strings.Contains(stderr, "unknown topology") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestMaxF(t *testing.T) {
+	code, stdout, _ := run(t, "", "maxf", "-topo", "complete:7")
+	if code != 0 || !strings.Contains(stdout, "maxf: 2") {
+		t.Fatalf("code=%d out=%q", code, stdout)
+	}
+	code, stdout, _ = run(t, "", "maxf", "-topo", "hypercube:3")
+	if code != 0 || !strings.Contains(stdout, "maxf: 0") {
+		t.Fatalf("hypercube: code=%d out=%q", code, stdout)
+	}
+}
+
+func TestMaxFDisconnected(t *testing.T) {
+	edge := "n 4\n0 1\n1 0\n2 3\n3 2\n"
+	code, stdout, _ := run(t, edge, "maxf", "-topo", "-")
+	if code != 0 || !strings.Contains(stdout, "none") {
+		t.Fatalf("code=%d out=%q", code, stdout)
+	}
+}
+
+func TestRunConverges(t *testing.T) {
+	code, stdout, _ := run(t, "", "run",
+		"-topo", "core:7,2", "-f", "2", "-faulty", "0,1",
+		"-adversary", "extremes", "-rounds", "5000", "-eps", "1e-6")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, stdout)
+	}
+	if !strings.Contains(stdout, "converged: true") {
+		t.Errorf("output: %q", stdout)
+	}
+	if !strings.Contains(stdout, "validity: held") {
+		t.Errorf("validity line missing: %q", stdout)
+	}
+}
+
+func TestRunWithTraceEvery(t *testing.T) {
+	code, stdout, _ := run(t, "", "run",
+		"-topo", "complete:4", "-f", "1", "-rounds", "20", "-eps", "0",
+		"-adversary", "none", "-trace-every", "5")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "round      0") && !strings.Contains(stdout, "round  ") {
+		t.Errorf("trace lines missing: %q", stdout)
+	}
+}
+
+func TestRunConcurrentEngine(t *testing.T) {
+	code, stdout, _ := run(t, "", "run",
+		"-topo", "complete:5", "-f", "1", "-faulty", "4",
+		"-adversary", "fixed-high", "-engine", "concurrent",
+		"-rounds", "500", "-eps", "1e-6")
+	if code != 0 || !strings.Contains(stdout, "engine=concurrent") {
+		t.Fatalf("code=%d out=%q", code, stdout)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"run", "-topo", "complete:5", "-faulty", "9"},                        // out of range
+		{"run", "-topo", "complete:5", "-faulty", "x"},                        // bad id
+		{"run", "-topo", "complete:5", "-adversary", "nope"},                  // bad strategy
+		{"run", "-topo", "complete:5", "-engine", "quantum"},                  // bad engine
+		{"run", "-topo", "ring:6", "-f", "1", "-faulty", "0", "-rounds", "5"}, // in-degree too small
+	}
+	for _, args := range cases {
+		code, _, stderr := run(t, "", args...)
+		if code != 1 {
+			t.Errorf("args %v: code=%d stderr=%q, want failure", args, code, stderr)
+		}
+	}
+}
+
+func TestRunWithCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	code, stdout, _ := run(t, "", "run",
+		"-topo", "complete:4", "-f", "1", "-rounds", "10", "-eps", "0",
+		"-adversary", "none", "-csv", path)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "trace written to") {
+		t.Errorf("missing csv confirmation: %q", stdout)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "round,U,mu,range,node0") {
+		t.Errorf("csv header: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+	code, _, _ = run(t, "", "run",
+		"-topo", "complete:4", "-f", "1", "-rounds", "2",
+		"-csv", filepath.Join(t.TempDir(), "no", "such", "dir", "x.csv"))
+	if code != 1 {
+		t.Error("unwritable csv path should fail")
+	}
+}
+
+func TestTopoEdgeList(t *testing.T) {
+	code, stdout, _ := run(t, "", "topo", "-topo", "cycle:3")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "n 3") || !strings.Contains(stdout, "0 1") {
+		t.Errorf("edge list: %q", stdout)
+	}
+}
+
+func TestTopoDOT(t *testing.T) {
+	code, stdout, _ := run(t, "", "topo", "-topo", "ring:4", "-format", "dot")
+	if code != 0 || !strings.Contains(stdout, "digraph") || !strings.Contains(stdout, "dir=both") {
+		t.Fatalf("code=%d out=%q", code, stdout)
+	}
+	code, _, _ = run(t, "", "topo", "-topo", "ring:4", "-format", "pdf")
+	if code != 1 {
+		t.Fatalf("bad format accepted")
+	}
+}
+
+func TestStdinTopology(t *testing.T) {
+	edge := "n 4\n" + "0 1\n1 0\n0 2\n2 0\n0 3\n3 0\n1 2\n2 1\n1 3\n3 1\n2 3\n3 2\n"
+	code, stdout, _ := run(t, edge, "check", "-topo", "-", "-f", "1")
+	if code != 0 || !strings.Contains(stdout, "SATISFIED") {
+		t.Fatalf("stdin K4: code=%d out=%q", code, stdout)
+	}
+}
+
+func TestFileTopology(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	if err := os.WriteFile(path, []byte("n 3\n0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := run(t, "", "maxf", "-topo", "file:"+path)
+	if code != 0 || !strings.Contains(stdout, "maxf: 0") {
+		t.Fatalf("code=%d out=%q", code, stdout)
+	}
+	code, _, stderr := run(t, "", "maxf", "-topo", "file:/nonexistent/x")
+	if code != 1 || stderr == "" {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestParseTopoSpecs(t *testing.T) {
+	specs := map[string]int{ // spec -> expected n
+		"complete:6":       6,
+		"core:7,2":         7,
+		"hypercube:3":      8,
+		"chord:9,2":        9,
+		"ring:5":           5,
+		"cycle:4":          4,
+		"wheel:6":          6,
+		"star:4":           4,
+		"grid:2,3":         6,
+		"torus:3,3":        9,
+		"random:10,0.5,42": 10,
+	}
+	for spec, wantN := range specs {
+		g, err := ParseTopo(spec, nil)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if g.N() != wantN {
+			t.Errorf("%s: n = %d, want %d", spec, g.N(), wantN)
+		}
+	}
+	bad := []string{"complete", "complete:x", "core:4", "grid:2", "random:10,2,1,9"}
+	for _, spec := range bad {
+		if _, err := ParseTopo(spec, nil); err == nil {
+			t.Errorf("%s: expected error", spec)
+		}
+	}
+}
+
+func TestExperimentsCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite")
+	}
+	code, stdout, stderr := run(t, "", "experiments")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	for _, want := range []string{"E1 —", "E5 —", "E10 —"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("missing %q in experiments output", want)
+		}
+	}
+}

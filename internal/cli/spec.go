@@ -1,0 +1,135 @@
+// Package cli implements the iabc command-line tool. Command logic lives
+// here — not in package main — so every path is unit-testable and main
+// contains a single os.Exit.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"iabc/internal/graph"
+	"iabc/internal/topology"
+)
+
+// ParseTopo builds a graph from a topology spec string (see package main's
+// doc comment for the grammar). stdin supplies the edge list for the "-"
+// spec.
+func ParseTopo(spec string, stdin io.Reader) (*graph.Graph, error) {
+	if spec == "-" {
+		return graph.ParseEdgeList(stdin)
+	}
+	name, argStr, _ := strings.Cut(spec, ":")
+	var args []int
+	var floatArgs []float64
+	if argStr != "" {
+		for _, part := range strings.Split(argStr, ",") {
+			part = strings.TrimSpace(part)
+			if iv, err := strconv.Atoi(part); err == nil {
+				args = append(args, iv)
+				floatArgs = append(floatArgs, float64(iv))
+				continue
+			}
+			fv, err := strconv.ParseFloat(part, 64)
+			if err != nil {
+				if name == "file" {
+					break // path, not numbers
+				}
+				return nil, fmt.Errorf("cli: bad argument %q in spec %q", part, spec)
+			}
+			args = append(args, int(fv))
+			floatArgs = append(floatArgs, fv)
+		}
+	}
+	need := func(k int) error {
+		if len(args) != k {
+			return fmt.Errorf("cli: spec %q needs %d argument(s), got %d", spec, k, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "complete":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return topology.Complete(args[0])
+	case "core":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return topology.CoreNetwork(args[0], args[1])
+	case "hypercube":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return topology.Hypercube(args[0])
+	case "chord":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return topology.Chord(args[0], args[1])
+	case "ring":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return topology.UndirectedRing(args[0])
+	case "cycle":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return topology.DirectedCycle(args[0])
+	case "wheel":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return topology.Wheel(args[0])
+	case "star":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return topology.Star(args[0])
+	case "grid":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return topology.Grid(args[0], args[1])
+	case "torus":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return topology.Torus(args[0], args[1])
+	case "random":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return topology.RandomDigraph(args[0], floatArgs[1], rand.New(rand.NewSource(int64(args[2]))))
+	case "file":
+		f, err := os.Open(argStr)
+		if err != nil {
+			return nil, fmt.Errorf("cli: %w", err)
+		}
+		defer f.Close()
+		return graph.ParseEdgeList(f)
+	default:
+		return nil, fmt.Errorf("cli: unknown topology %q (see iabc help)", name)
+	}
+}
+
+// parseNodeList parses "0,3,5" into node IDs.
+func parseNodeList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad node id %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

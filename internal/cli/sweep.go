@@ -1,0 +1,146 @@
+package cli
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+
+	"iabc/internal/condition"
+	"iabc/internal/core"
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+	"iabc/internal/sim"
+	"iabc/internal/topology"
+	"iabc/internal/workload"
+)
+
+// cmdRepair implements `iabc repair`.
+func cmdRepair(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
+	topoSpec := fs.String("topo", "", "topology spec (required)")
+	f := fs.Int("f", 1, "fault-tolerance target")
+	maxEdges := fs.Int("max-edges", 100, "edge-addition budget")
+	emit := fs.Bool("emit", false, "print the repaired topology as an edge list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := ParseTopo(*topoSpec, stdin)
+	if err != nil {
+		return err
+	}
+	res, err := condition.Repair(g, *f, *maxEdges)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "graph: %s  f=%d\n", g, *f)
+	if len(res.Added) == 0 {
+		fmt.Fprintln(stdout, "already satisfies the condition — no edges needed")
+	} else {
+		fmt.Fprintf(stdout, "repaired with %d added edge(s) in %d iteration(s):\n", len(res.Added), res.Iterations)
+		for _, e := range res.Added {
+			fmt.Fprintf(stdout, "  add %d -> %d\n", e[0], e[1])
+		}
+	}
+	if *emit {
+		return res.Repaired.WriteEdgeList(stdout)
+	}
+	return nil
+}
+
+// cmdSweep implements `iabc sweep`: for a topology family and a range of n,
+// report condition verdict, α, and rounds-to-ε under a chosen adversary as
+// CSV — the raw series behind convergence-vs-size figures.
+func cmdSweep(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	family := fs.String("family", "core", "core|chord|complete|circulant")
+	f := fs.Int("f", 1, "fault-tolerance parameter")
+	from := fs.Int("from", 0, "first n (default: smallest legal)")
+	to := fs.Int("to", 12, "last n (inclusive)")
+	eps := fs.Float64("eps", 1e-6, "convergence threshold")
+	advName := fs.String("adversary", "extremes", "byzantine strategy")
+	rounds := fs.Int("rounds", 100000, "round cap per point")
+	seed := fs.Int64("seed", 1, "seed for randomized pieces")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var build func(n int) (*graph.Graph, error)
+	switch *family {
+	case "core":
+		build = func(n int) (*graph.Graph, error) { return topology.CoreNetwork(n, *f) }
+	case "chord":
+		build = func(n int) (*graph.Graph, error) { return topology.Chord(n, *f) }
+	case "complete":
+		build = func(n int) (*graph.Graph, error) { return topology.Complete(n) }
+	case "circulant":
+		build = func(n int) (*graph.Graph, error) {
+			offs := make([]int, 2*(*f)+1)
+			for i := range offs {
+				offs[i] = i + 1
+			}
+			return topology.Circulant(n, offs)
+		}
+	default:
+		return fmt.Errorf("cli: unknown family %q (core|chord|complete|circulant)", *family)
+	}
+	if *from == 0 {
+		*from = 3*(*f) + 1
+	}
+	if *from > *to {
+		return fmt.Errorf("cli: empty range %d..%d", *from, *to)
+	}
+
+	strat, err := adversaryByName(*advName, *seed)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(stdout)
+	if err := cw.Write([]string{"family", "n", "f", "satisfied", "rounds_to_eps", "converged"}); err != nil {
+		return err
+	}
+	for n := *from; n <= *to; n++ {
+		g, err := build(n)
+		if err != nil {
+			// Families have their own minimum sizes; skip points below.
+			continue
+		}
+		chk, err := condition.CheckParallel(g, *f, 0)
+		if err != nil {
+			return err
+		}
+		row := []string{*family, strconv.Itoa(n), strconv.Itoa(*f), strconv.FormatBool(chk.Satisfied), "", ""}
+		if chk.Satisfied {
+			fset := firstNodes(n, *f)
+			tr, err := sim.Sequential{}.Run(sim.Config{
+				G: g, F: *f, Faulty: fset,
+				Initial:   workload.Bimodal(n, 0, 1),
+				Rule:      core.TrimmedMean{},
+				Adversary: strat,
+				MaxRounds: *rounds, Epsilon: *eps,
+			})
+			if err != nil {
+				return err
+			}
+			row[4] = strconv.Itoa(tr.Rounds)
+			row[5] = strconv.FormatBool(tr.Converged)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// firstNodes returns {0, ..., k-1} over n nodes — the sweep places faults
+// on the lowest IDs, which in core networks is inside the core (the
+// hardest position).
+func firstNodes(n, k int) nodeset.Set {
+	s := nodeset.New(n)
+	for i := 0; i < k && i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRepairCommand(t *testing.T) {
+	code, stdout, _ := run(t, "", "repair", "-topo", "chord:7,2", "-f", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "repaired with") || !strings.Contains(stdout, "add ") {
+		t.Errorf("output: %q", stdout)
+	}
+}
+
+func TestRepairCommandNoOp(t *testing.T) {
+	code, stdout, _ := run(t, "", "repair", "-topo", "core:7,2", "-f", "2")
+	if code != 0 || !strings.Contains(stdout, "already satisfies") {
+		t.Fatalf("code=%d out=%q", code, stdout)
+	}
+}
+
+func TestRepairCommandEmit(t *testing.T) {
+	code, stdout, _ := run(t, "", "repair", "-topo", "hypercube:3", "-f", "1", "-emit")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "n 8") {
+		t.Errorf("emitted edge list missing: %q", stdout)
+	}
+}
+
+func TestRepairCommandErrors(t *testing.T) {
+	code, _, _ := run(t, "", "repair", "-topo", "complete:3", "-f", "1")
+	if code != 1 {
+		t.Error("n ≤ 3f should fail")
+	}
+	code, _, _ = run(t, "", "repair", "-topo", "hypercube:3", "-f", "1", "-max-edges", "1")
+	if code != 1 {
+		t.Error("tiny budget should fail")
+	}
+}
+
+func TestSweepCore(t *testing.T) {
+	code, stdout, stderr := run(t, "", "sweep", "-family", "core", "-f", "1", "-to", "6", "-rounds", "5000")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if lines[0] != "family,n,f,satisfied,rounds_to_eps,converged" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // n = 4, 5, 6
+		t.Fatalf("rows = %d, want 4:\n%s", len(lines), stdout)
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, "true") {
+			t.Errorf("core row should satisfy and converge: %q", line)
+		}
+	}
+}
+
+func TestSweepChordShowsViolations(t *testing.T) {
+	code, stdout, _ := run(t, "", "sweep", "-family", "chord", "-f", "2", "-from", "7", "-to", "9", "-rounds", "100")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "chord,7,2,false") {
+		t.Errorf("chord(7,2) should report false: %q", stdout)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	code, _, _ := run(t, "", "sweep", "-family", "klein-bottle")
+	if code != 1 {
+		t.Error("unknown family should fail")
+	}
+	code, _, _ = run(t, "", "sweep", "-family", "core", "-from", "9", "-to", "4")
+	if code != 1 {
+		t.Error("empty range should fail")
+	}
+	code, _, _ = run(t, "", "sweep", "-family", "core", "-adversary", "bogus")
+	if code != 1 {
+		t.Error("unknown adversary should fail")
+	}
+}

@@ -1,0 +1,278 @@
+package condition
+
+import (
+	"fmt"
+
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+)
+
+// Witness is a partition F, L, C, R of V violating Theorem 1: |F| ≤ f,
+// L and R non-empty, C∪R ⇏ L and L∪C ⇏ R. It certifies that no correct
+// iterative approximate Byzantine consensus algorithm exists for (G, f)
+// (the adversary of the Theorem 1 proof — adversary.PartitionAttack —
+// freezes L and R at distinct values forever).
+type Witness struct {
+	F, L, C, R nodeset.Set
+}
+
+// String renders the witness partition.
+func (w *Witness) String() string {
+	return fmt.Sprintf("F=%v L=%v C=%v R=%v", w.F, w.L, w.C, w.R)
+}
+
+// Verify checks the witness against the literal statement of Theorem 1 and
+// Definition 1 — independently of the checker's internal reformulation.
+// It returns an error describing the first defect found, or nil if the
+// witness genuinely violates the condition for (g, f) under threshold.
+func (w *Witness) Verify(g *graph.Graph, f, threshold int) error {
+	n := g.N()
+	universe := nodeset.Universe(n)
+	union := w.F.Union(w.L).Union(w.C).Union(w.R)
+	if !union.Equal(universe) {
+		return fmt.Errorf("condition: witness sets do not cover V: %v", union)
+	}
+	total := w.F.Count() + w.L.Count() + w.C.Count() + w.R.Count()
+	if total != n {
+		return fmt.Errorf("condition: witness sets overlap (%d memberships over %d nodes)", total, n)
+	}
+	if w.F.Count() > f {
+		return fmt.Errorf("condition: |F| = %d exceeds f = %d", w.F.Count(), f)
+	}
+	if w.L.Empty() || w.R.Empty() {
+		return fmt.Errorf("condition: L and R must be non-empty (|L|=%d, |R|=%d)", w.L.Count(), w.R.Count())
+	}
+	if Reaches(g, w.C.Union(w.R), w.L, threshold) {
+		return fmt.Errorf("condition: C∪R ⇒ L holds, not a violation")
+	}
+	if Reaches(g, w.L.Union(w.C), w.R, threshold) {
+		return fmt.Errorf("condition: L∪C ⇒ R holds, not a violation")
+	}
+	return nil
+}
+
+// Result reports the outcome of an exact Theorem 1 check.
+type Result struct {
+	// Satisfied is true iff every partition passes the condition — i.e.
+	// iterative approximate Byzantine consensus tolerating f faults is
+	// possible on this graph (Theorems 1–3).
+	Satisfied bool
+	// Witness is a violating partition when Satisfied is false, nil
+	// otherwise.
+	Witness *Witness
+	// FaultSetsExamined counts the fault sets F enumerated.
+	FaultSetsExamined int64
+	// CandidatesExamined counts candidate L sets tested for insulation.
+	CandidatesExamined int64
+}
+
+// Check runs the exact Theorem 1 check for the synchronous model
+// (threshold f+1). See CheckThreshold for the algorithm.
+func Check(g *graph.Graph, f int) (Result, error) {
+	return CheckThreshold(g, f, SyncThreshold(f))
+}
+
+// CheckAsync runs the exact check for the asynchronous condition of
+// Section 7 (threshold 2f+1).
+func CheckAsync(g *graph.Graph, f int) (Result, error) {
+	return CheckThreshold(g, f, AsyncThreshold(f))
+}
+
+// CheckThreshold decides, exactly, whether every partition F, L, C, R of V
+// with |F| ≤ f and L, R ≠ ∅ satisfies C∪R ⇒ L or L∪C ⇒ R under the given
+// in-link threshold.
+//
+// # Insulated-set reformulation
+//
+// Fix F and let W = V−F. Call X ⊆ W insulated (w.r.t. W, threshold) if
+// every v ∈ X has at most threshold−1 in-neighbors in W−X. Because
+// C∪R = W−L and L∪C = W−R, the condition fails for this F iff there exist
+// two disjoint non-empty insulated sets L, R ⊆ W. Insulated sets are closed
+// under union, so the maximal insulated subset of any ground set is unique
+// and computable by iterative deletion in O(n²) bitset steps. The checker
+// therefore enumerates candidate L (2^|W| subsets, ascending size, early
+// exit) and, for each insulated L, computes the maximal insulated subset of
+// W−L; non-empty means a violation with R = that subset.
+//
+// This replaces the naive 3^n enumeration over (L, C, R) triples. The
+// returned witness is re-verifiable via (*Witness).Verify.
+func CheckThreshold(g *graph.Graph, f, threshold int) (Result, error) {
+	n := g.N()
+	if f < 0 {
+		return Result{}, fmt.Errorf("condition: f must be >= 0, got %d", f)
+	}
+	if threshold < 1 {
+		return Result{}, fmt.Errorf("condition: threshold must be >= 1, got %d", threshold)
+	}
+	if n-f > 62 {
+		return Result{}, fmt.Errorf("condition: exact check infeasible for n-f = %d > 62 nodes", n-f)
+	}
+	universe := nodeset.Universe(n)
+	res := Result{Satisfied: true}
+
+	for fSize := 0; fSize <= f && fSize <= n; fSize++ {
+		nodeset.SubsetsAscendingSize(universe, fSize, fSize, func(fSet nodeset.Set) bool {
+			res.FaultSetsExamined++
+			ground := universe.Difference(fSet)
+			w := findDisjointInsulatedPair(g, ground, threshold, &res.CandidatesExamined)
+			if w != nil {
+				w.F = fSet.Clone()
+				w.C = ground.Difference(w.L).Difference(w.R)
+				res.Satisfied = false
+				res.Witness = w
+				return false
+			}
+			return true
+		})
+		if !res.Satisfied {
+			break
+		}
+	}
+	return res, nil
+}
+
+// isInsulated reports whether every node of x has at most threshold-1
+// in-neighbors in ground−x.
+func isInsulated(g *graph.Graph, ground, x nodeset.Set, threshold int) bool {
+	outside := ground.Difference(x)
+	ok := true
+	x.ForEach(func(v int) bool {
+		if g.CountInFrom(v, outside) >= threshold {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// maximalInsulatedSubset returns the unique maximal subset S of sub that is
+// insulated with respect to ground (every v ∈ S has ≤ threshold−1
+// in-neighbors in ground−S). Iterative deletion: remove any node with too
+// many in-neighbors outside the shrinking S; by union-closure of insulated
+// sets, every insulated subset of sub survives, so the fixpoint is maximal.
+func maximalInsulatedSubset(g *graph.Graph, ground, sub nodeset.Set, threshold int) nodeset.Set {
+	s := sub.Clone()
+	outside := ground.Difference(s)
+	for {
+		var removed []int
+		s.ForEach(func(v int) bool {
+			if g.CountInFrom(v, outside) >= threshold {
+				removed = append(removed, v)
+			}
+			return true
+		})
+		if len(removed) == 0 {
+			return s
+		}
+		for _, v := range removed {
+			s.Remove(v)
+			outside.Add(v)
+		}
+	}
+}
+
+// findDisjointInsulatedPair searches for two disjoint non-empty insulated
+// subsets of ground. It enumerates candidate L in ascending size (violations
+// with small L — e.g. single under-connected nodes — are found immediately)
+// and pairs each insulated L with the maximal insulated subset of the
+// complement. Returns a witness with L and R filled in, or nil.
+func findDisjointInsulatedPair(g *graph.Graph, ground nodeset.Set, threshold int, examined *int64) *Witness {
+	m := ground.Count()
+	if m < 2 {
+		return nil
+	}
+	var found *Witness
+	// L needs at most floor(m/2) nodes: if a disjoint pair (L, R) exists,
+	// the smaller side has ≤ m/2 nodes, and the pair is symmetric in L/R.
+	nodeset.SubsetsAscendingSize(ground, 1, m/2, func(l nodeset.Set) bool {
+		*examined++
+		if !isInsulated(g, ground, l, threshold) {
+			return true
+		}
+		rest := ground.Difference(l)
+		r := maximalInsulatedSubset(g, ground, rest, threshold)
+		if !r.Empty() {
+			found = &Witness{L: l.Clone(), R: r}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// MaxF returns the largest f ≥ 0 for which the graph satisfies Theorem 1
+// under the synchronous threshold, or -1 if even f = 0 fails (the graph
+// cannot reach consensus iteratively at all — it has multiple source
+// components). The condition is monotone: satisfying f implies satisfying
+// every f' < f, so a linear scan with early exit is exact.
+func MaxF(g *graph.Graph) (int, error) {
+	best := -1
+	for f := 0; 3*f < g.N(); f++ {
+		res, err := Check(g, f)
+		if err != nil {
+			return best, err
+		}
+		if !res.Satisfied {
+			break
+		}
+		best = f
+	}
+	return best, nil
+}
+
+// Violation is a human-readable reason a graph fails a polynomial-time
+// necessary condition.
+type Violation struct {
+	// Rule identifies the failed check: "order" (n ≥ 2), "corollary2"
+	// (n > 3f; n > 5f async), or "corollary3" (in-degree ≥ 2f+1; ≥ 3f+1
+	// async).
+	Rule string
+	// Detail describes the failure.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// QuickScreen evaluates the polynomial-time necessary conditions implied by
+// Theorem 1 — Corollary 2 (n > 3f) and Corollary 3 (every in-degree
+// ≥ 2f+1 when f > 0) — without running the exponential check. An empty
+// result does NOT imply the condition holds (the f=2, n=7 chord network
+// passes both corollaries yet fails Theorem 1, Section 6.3); a non-empty
+// result proves it fails.
+func QuickScreen(g *graph.Graph, f int) []Violation {
+	return quickScreen(g, f, 3*f, 2*f+1)
+}
+
+// QuickScreenAsync is QuickScreen for the Section 7 asynchronous model:
+// n > 5f and in-degree ≥ 3f+1 when f > 0.
+func QuickScreenAsync(g *graph.Graph, f int) []Violation {
+	return quickScreen(g, f, 5*f, 3*f+1)
+}
+
+func quickScreen(g *graph.Graph, f, minOrderExclusive, minInDegree int) []Violation {
+	var out []Violation
+	if g.N() < 2 {
+		out = append(out, Violation{
+			Rule:   "order",
+			Detail: fmt.Sprintf("need n >= 2 nodes, have %d", g.N()),
+		})
+	}
+	if f > 0 && g.N() <= minOrderExclusive {
+		out = append(out, Violation{
+			Rule:   "corollary2",
+			Detail: fmt.Sprintf("need n > %d for f = %d, have n = %d", minOrderExclusive, f, g.N()),
+		})
+	}
+	if f > 0 {
+		for i := 0; i < g.N(); i++ {
+			if d := g.InDegree(i); d < minInDegree {
+				out = append(out, Violation{
+					Rule:   "corollary3",
+					Detail: fmt.Sprintf("node %d has in-degree %d < %d", i, d, minInDegree),
+				})
+			}
+		}
+	}
+	return out
+}

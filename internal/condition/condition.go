@@ -1,0 +1,136 @@
+// Package condition implements the graph-theoretic machinery of the paper:
+// the ⇒ relation (Definition 1), in(A ⇒ B) (Definition 2), set propagation
+// (Definition 3), and — centrally — an exact checker for the tight necessary
+// and sufficient condition of Theorem 1:
+//
+//	For every partition F, L, C, R of V with |F| ≤ f, L ≠ ∅, R ≠ ∅:
+//	C ∪ R ⇒ L  or  L ∪ C ⇒ R.
+//
+// The same machinery parameterized with threshold 2f+1 instead of f+1 yields
+// the asynchronous condition of Section 7.
+//
+// # Complexity
+//
+// Deciding the condition is equivalent to a graph-robustness property that
+// is coNP-hard in general, so the exact checker is exponential. It avoids
+// the naive 3^n enumeration of (L, C, R) partitions via the insulated-set
+// reformulation (see Check), giving 2^n·poly(n) per fault set F; graphs up
+// to n ≈ 20–24 are practical. QuickScreen provides polynomial-time
+// necessary-condition checks (Corollaries 2 and 3) for larger graphs.
+package condition
+
+import (
+	"fmt"
+
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+)
+
+// SyncThreshold returns the in-link threshold of Definition 1 for the
+// synchronous model: A ⇒ B needs a node of B with at least f+1 in-neighbors
+// in A.
+func SyncThreshold(f int) int { return f + 1 }
+
+// AsyncThreshold returns the strengthened threshold of Section 7 for
+// asynchronous networks: 2f+1 in-links.
+func AsyncThreshold(f int) int { return 2*f + 1 }
+
+// Reaches reports whether A ⇒ B under the given threshold (Definition 1):
+// some node v ∈ B has at least threshold in-neighbors in A. A and B must be
+// disjoint for the relation to match the paper's definition; Reaches does
+// not enforce disjointness (callers construct partitions).
+func Reaches(g *graph.Graph, a, b nodeset.Set, threshold int) bool {
+	found := false
+	b.ForEach(func(v int) bool {
+		if g.CountInFrom(v, a) >= threshold {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// In returns in(A ⇒ B) (Definition 2): the set of nodes in B with at least
+// threshold in-neighbors in A. When A ⇏ B the result is empty, matching the
+// paper's convention.
+func In(g *graph.Graph, a, b nodeset.Set, threshold int) nodeset.Set {
+	out := nodeset.New(g.N())
+	b.ForEach(func(v int) bool {
+		if g.CountInFrom(v, a) >= threshold {
+			out.Add(v)
+		}
+		return true
+	})
+	return out
+}
+
+// Propagation is the result of a Definition 3 propagation attempt from A to
+// B. When OK is true, ASeq and BSeq are the propagating sequences
+// A_0..A_l and B_0..B_l with B_l = ∅; Steps = l. When OK is false, the
+// sequences hold the maximal prefix constructed before a step with
+// A_τ ⇏ B_τ and B_τ ≠ ∅ occurred.
+type Propagation struct {
+	OK    bool
+	Steps int
+	ASeq  []nodeset.Set
+	BSeq  []nodeset.Set
+}
+
+// Propagates runs Definition 3: A propagates to B in l steps if repeatedly
+// moving in(A_τ ⇒ B_τ) from B to A empties B. The construction is
+// deterministic: A_{τ+1} = A_τ ∪ in(A_τ ⇒ B_τ), B_{τ+1} = B_τ − in(A_τ ⇒ B_τ).
+//
+// A and B must be non-empty and disjoint; otherwise an error is returned.
+// When A propagates to B, Steps ≤ |A∪B| − threshold is guaranteed finite
+// (each step strictly shrinks B).
+func Propagates(g *graph.Graph, a, b nodeset.Set, threshold int) (Propagation, error) {
+	if a.Empty() || b.Empty() {
+		return Propagation{}, fmt.Errorf("condition: propagation requires non-empty sets (|A|=%d, |B|=%d)", a.Count(), b.Count())
+	}
+	if !a.Disjoint(b) {
+		return Propagation{}, fmt.Errorf("condition: propagation requires disjoint sets, got A=%v B=%v", a, b)
+	}
+	p := Propagation{
+		ASeq: []nodeset.Set{a.Clone()},
+		BSeq: []nodeset.Set{b.Clone()},
+	}
+	curA, curB := a.Clone(), b.Clone()
+	for !curB.Empty() {
+		moved := In(g, curA, curB, threshold)
+		if moved.Empty() { // A_τ ⇏ B_τ: propagation fails.
+			return p, nil
+		}
+		curA = curA.Union(moved)
+		curB = curB.Difference(moved)
+		p.ASeq = append(p.ASeq, curA.Clone())
+		p.BSeq = append(p.BSeq, curB.Clone())
+		p.Steps++
+	}
+	p.OK = true
+	return p, nil
+}
+
+// EitherPropagates implements the dichotomy of Lemma 2: for any partition
+// A, B, F of V with A, B non-empty and |F| ≤ f, if the graph satisfies
+// Theorem 1 then A propagates to B or B propagates to A. It returns which
+// direction succeeded ("A→B" favored when both hold) and the successful
+// propagation. If neither direction propagates, ok is false — which, per
+// Lemma 2, certifies that the graph violates Theorem 1.
+func EitherPropagates(g *graph.Graph, a, b nodeset.Set, threshold int) (dir string, p Propagation, ok bool, err error) {
+	pa, err := Propagates(g, a, b, threshold)
+	if err != nil {
+		return "", Propagation{}, false, err
+	}
+	if pa.OK {
+		return "A→B", pa, true, nil
+	}
+	pb, err := Propagates(g, b, a, threshold)
+	if err != nil {
+		return "", Propagation{}, false, err
+	}
+	if pb.OK {
+		return "B→A", pb, true, nil
+	}
+	return "", Propagation{}, false, nil
+}

@@ -1,0 +1,110 @@
+package condition
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+)
+
+// CheckParallel is Check with the fault-set enumeration fanned out across
+// worker goroutines. The verdict is identical to Check's, and so is the
+// witness: workers race, but the reported witness always comes from the
+// lowest-indexed failing fault set in canonical enumeration order, which is
+// the one the sequential checker would return.
+//
+// workers ≤ 0 selects GOMAXPROCS. The speedup tracks core count when the
+// cost is spread over many fault sets (large n, f ≥ 2) — per-fault-set work
+// is independent and lock-free — though coordination overhead caps the gain
+// on few-core machines. For trivially small inputs the sequential path is
+// used directly.
+func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
+	threshold := SyncThreshold(f)
+	n := g.N()
+	if f < 0 {
+		return Result{}, fmt.Errorf("condition: f must be >= 0, got %d", f)
+	}
+	if n-f > 62 {
+		return Result{}, fmt.Errorf("condition: exact check infeasible for n-f = %d > 62 nodes", n-f)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || n < 8 {
+		return CheckThreshold(g, f, threshold)
+	}
+
+	// Materialize the fault sets in canonical (size-ascending, then
+	// combination-lexicographic) order — the same order CheckThreshold
+	// visits them.
+	universe := nodeset.Universe(n)
+	var faultSets []nodeset.Set
+	for fSize := 0; fSize <= f && fSize <= n; fSize++ {
+		nodeset.SubsetsAscendingSize(universe, fSize, fSize, func(s nodeset.Set) bool {
+			faultSets = append(faultSets, s.Clone())
+			return true
+		})
+	}
+
+	witnesses := make([]*Witness, len(faultSets))
+	var (
+		next       atomic.Int64
+		bestFail   atomic.Int64
+		candidates atomic.Int64
+		examined   atomic.Int64
+	)
+	bestFail.Store(int64(len(faultSets)))
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var localCand int64
+			defer func() { candidates.Add(localCand) }()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(faultSets)) {
+					return
+				}
+				if i > bestFail.Load() {
+					// A lower-indexed fault set already failed; anything we
+					// find here would be discarded.
+					continue
+				}
+				examined.Add(1)
+				fSet := faultSets[i]
+				ground := universe.Difference(fSet)
+				wit := findDisjointInsulatedPair(g, ground, threshold, &localCand)
+				if wit == nil {
+					continue
+				}
+				wit.F = fSet.Clone()
+				wit.C = ground.Difference(wit.L).Difference(wit.R)
+				witnesses[i] = wit
+				// Lower bestFail to i if i is smaller.
+				for {
+					b := bestFail.Load()
+					if i >= b || bestFail.CompareAndSwap(b, i) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := Result{
+		Satisfied:          true,
+		FaultSetsExamined:  examined.Load(),
+		CandidatesExamined: candidates.Load(),
+	}
+	if b := bestFail.Load(); b < int64(len(faultSets)) {
+		res.Satisfied = false
+		res.Witness = witnesses[b]
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package condition
+
+import (
+	"math/rand"
+	"testing"
+
+	"iabc/internal/topology"
+)
+
+func TestCheckParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(5)
+		f := 1 + rng.Intn(2)
+		g, err := topology.RandomDigraph(n, 0.4+0.4*rng.Float64(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Check(g, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := CheckParallel(g, f, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Satisfied != par.Satisfied {
+			t.Fatalf("n=%d f=%d: verdict mismatch seq=%v par=%v", n, f, seq.Satisfied, par.Satisfied)
+		}
+		if !seq.Satisfied {
+			// Deterministic witness: same fault set, same L and R.
+			if !seq.Witness.F.Equal(par.Witness.F) ||
+				!seq.Witness.L.Equal(par.Witness.L) ||
+				!seq.Witness.R.Equal(par.Witness.R) {
+				t.Fatalf("witness mismatch:\nseq %v\npar %v", seq.Witness, par.Witness)
+			}
+			if err := par.Witness.Verify(g, f, SyncThreshold(f)); err != nil {
+				t.Fatalf("parallel witness invalid: %v", err)
+			}
+		}
+	}
+}
+
+func TestCheckParallelPaperCases(t *testing.T) {
+	c7, err := topology.Chord(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckParallel(c7, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Fatal("chord(7,2) should be violated")
+	}
+	cn, err := topology.CoreNetwork(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = CheckParallel(cn, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("core(10,3) should satisfy; witness %v", res.Witness)
+	}
+	if res.FaultSetsExamined == 0 || res.CandidatesExamined == 0 {
+		t.Error("work counters should be positive")
+	}
+}
+
+func TestCheckParallelDefaultsAndSmallInputs(t *testing.T) {
+	g := mustComplete(t, 4)
+	// workers <= 0 → GOMAXPROCS; n < 8 → sequential fallback. Both paths
+	// must agree with Check.
+	for _, workers := range []int{-1, 0, 1, 2, 16} {
+		res, err := CheckParallel(g, 1, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Satisfied {
+			t.Fatalf("workers=%d: K4 f=1 should satisfy", workers)
+		}
+	}
+	if _, err := CheckParallel(g, -1, 2); err == nil {
+		t.Error("negative f should error")
+	}
+}
+
+func TestCheckParallelInfeasibleSize(t *testing.T) {
+	big, err := topology.DirectedCycle(70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckParallel(big, 0, 4); err == nil {
+		t.Error("n-f > 62 should be rejected")
+	}
+}

@@ -1,0 +1,214 @@
+package condition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+)
+
+// This file implements the *reduced graph* characterization of the
+// Theorem 1 condition — the lens under which the paper's Markov-chain
+// remark (Section 2.3) becomes an analysis tool: one round of Algorithm 1
+// at a fault-free node is a convex combination supported on some reduced
+// graph's in-edges.
+//
+// For a fault set F (|F| ≤ f), a reduced graph is obtained from G by
+// removing F and its edges, and then removing up to f additional incoming
+// edges at every remaining node. The equivalence:
+//
+//	G satisfies Theorem 1 for f  ⟺  every reduced graph of every F has
+//	                                 exactly one source component.
+//
+// (⇐ by contraposition: two disjoint insulated sets L, R yield a reduced
+// graph — drop each L-node's ≤ f in-edges from outside L and each R-node's
+// from outside R — in which L and R have no incoming edges, hence at least
+// two source components. ⇒ similarly: two source components of a reduced
+// graph are insulated in G−F, because reduction removed at most f in-edges
+// per node.)
+//
+// Enumerating all reduced graphs costs ∏_i C(indeg_i, ≤f) and is only
+// feasible for tiny graphs; it is exposed for cross-validation, while
+// SampleReducedGraphs provides randomized falsification for larger ones.
+
+// SourceComponents returns the strongly connected components of g that have
+// no incoming edge from outside themselves, as sorted node slices.
+func SourceComponents(g *graph.Graph) [][]int {
+	comps := g.StronglyConnectedComponents()
+	id := make([]int, g.N())
+	for ci, comp := range comps {
+		for _, v := range comp {
+			id[v] = ci
+		}
+	}
+	hasIncoming := make([]bool, len(comps))
+	g.ForEachEdge(func(from, to int) {
+		if id[from] != id[to] {
+			hasIncoming[id[to]] = true
+		}
+	})
+	var sources [][]int
+	for ci, comp := range comps {
+		if !hasIncoming[ci] {
+			sources = append(sources, comp)
+		}
+	}
+	return sources
+}
+
+// reducedBase removes the fault set F (nodes and incident edges) from g and
+// returns the surviving graph along with the mapping from new to original
+// IDs.
+func reducedBase(g *graph.Graph, fSet nodeset.Set) (*graph.Graph, []int, error) {
+	keep := fSet.Complement()
+	return g.InducedSubgraph(keep)
+}
+
+// ForEachReducedGraph enumerates every reduced graph of g for the given
+// fault set: all ways of deleting up to maxDrop incoming edges at each
+// fault-free node. fn receives each reduced graph (node IDs renumbered to
+// 0..|V−F|−1; mapping returned alongside) and returns false to stop early.
+//
+// The count is ∏_i Σ_{k≤maxDrop} C(indeg_i, k); callers must keep the base
+// graph tiny (the tests use n ≤ 6).
+func ForEachReducedGraph(g *graph.Graph, fSet nodeset.Set, maxDrop int, fn func(rg *graph.Graph, origID []int) bool) error {
+	base, origID, err := reducedBase(g, fSet)
+	if err != nil {
+		return err
+	}
+	n := base.N()
+	// dropChoices[i] = all subsets of size ≤ maxDrop of node i's in-edges.
+	dropChoices := make([][][]int, n)
+	for i := 0; i < n; i++ {
+		ins := base.InNeighbors(i)
+		var choices [][]int
+		var rec func(start int, cur []int)
+		rec = func(start int, cur []int) {
+			c := make([]int, len(cur))
+			copy(c, cur)
+			choices = append(choices, c)
+			if len(cur) == maxDrop {
+				return
+			}
+			for k := start; k < len(ins); k++ {
+				rec(k+1, append(cur, ins[k]))
+			}
+		}
+		rec(0, nil)
+		dropChoices[i] = choices
+	}
+	// Odometer over per-node choices.
+	idx := make([]int, n)
+	for {
+		b := graph.NewBuilder(n)
+		base.ForEachEdge(func(from, to int) {
+			for _, dropped := range dropChoices[to][idx[to]] {
+				if dropped == from {
+					return
+				}
+			}
+			b.AddEdge(from, to)
+		})
+		rg, err := b.Build()
+		if err != nil {
+			return err
+		}
+		if !fn(rg, origID) {
+			return nil
+		}
+		// Advance the odometer.
+		pos := 0
+		for pos < n {
+			idx[pos]++
+			if idx[pos] < len(dropChoices[pos]) {
+				break
+			}
+			idx[pos] = 0
+			pos++
+		}
+		if pos == n {
+			return nil
+		}
+	}
+}
+
+// CheckViaReducedGraphs decides the Theorem 1 condition by the reduced
+// graph characterization: exhaustively enumerate every fault set and every
+// reduced graph, and verify each has exactly one source component. It is
+// doubly exponential in spirit and exists to cross-validate Check on tiny
+// graphs (the property test asserts the two agree); it returns the first
+// offending (F, reduced graph) pair's source components for diagnosis.
+func CheckViaReducedGraphs(g *graph.Graph, f int) (bool, error) {
+	n := g.N()
+	if f < 0 {
+		return false, fmt.Errorf("condition: f must be >= 0, got %d", f)
+	}
+	if n > 10 {
+		return false, fmt.Errorf("condition: reduced-graph enumeration infeasible for n = %d > 10", n)
+	}
+	universe := nodeset.Universe(n)
+	ok := true
+	for fSize := 0; fSize <= f && fSize < n && ok; fSize++ {
+		nodeset.SubsetsAscendingSize(universe, fSize, fSize, func(fSet nodeset.Set) bool {
+			err := ForEachReducedGraph(g, fSet, f, func(rg *graph.Graph, _ []int) bool {
+				if len(SourceComponents(rg)) != 1 {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				ok = false
+				return false
+			}
+			return ok
+		})
+	}
+	return ok, nil
+}
+
+// SampleReducedGraphs draws random reduced graphs (random fault set of size
+// ≤ f, random ≤ f in-edge deletions per node) and reports how many had a
+// unique source component. A deficit is a *proof* of violation (the
+// offending reduced graph converts to a Theorem 1 witness); a full score is
+// only evidence, not proof. Useful as a cheap screen on graphs too large
+// for the exact checker.
+func SampleReducedGraphs(g *graph.Graph, f, samples int, rng *rand.Rand) (unique, total int, err error) {
+	if rng == nil {
+		return 0, 0, fmt.Errorf("condition: nil rng")
+	}
+	n := g.N()
+	for s := 0; s < samples; s++ {
+		fSet := nodeset.New(n)
+		fSize := rng.Intn(f + 1)
+		for fSet.Count() < fSize && fSet.Count() < n-1 {
+			fSet.Add(rng.Intn(n))
+		}
+		base, _, err := reducedBase(g, fSet)
+		if err != nil {
+			return unique, total, err
+		}
+		b := graph.NewBuilder(base.N())
+		for v := 0; v < base.N(); v++ {
+			ins := base.InNeighbors(v)
+			rng.Shuffle(len(ins), func(i, j int) { ins[i], ins[j] = ins[j], ins[i] })
+			drop := rng.Intn(f + 1)
+			if drop > len(ins) {
+				drop = len(ins)
+			}
+			for _, from := range ins[drop:] {
+				b.AddEdge(from, v)
+			}
+		}
+		rg, err := b.Build()
+		if err != nil {
+			return unique, total, err
+		}
+		total++
+		if len(SourceComponents(rg)) == 1 {
+			unique++
+		}
+	}
+	return unique, total, nil
+}

@@ -1,0 +1,207 @@
+package condition
+
+import (
+	"math/rand"
+	"testing"
+
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+	"iabc/internal/topology"
+)
+
+func TestSourceComponents(t *testing.T) {
+	// {0,1} -> {2,3}: one source component {0,1}.
+	g := graph.NewBuilder(4).
+		AddEdge(0, 1).AddEdge(1, 0).
+		AddEdge(2, 3).AddEdge(3, 2).
+		AddEdge(1, 2).
+		MustBuild()
+	src := SourceComponents(g)
+	if len(src) != 1 || len(src[0]) != 2 || src[0][0] != 0 {
+		t.Fatalf("sources = %v, want [[0 1]]", src)
+	}
+	// Remove the bridge: two sources.
+	g2 := graph.NewBuilder(4).
+		AddEdge(0, 1).AddEdge(1, 0).
+		AddEdge(2, 3).AddEdge(3, 2).
+		MustBuild()
+	if got := SourceComponents(g2); len(got) != 2 {
+		t.Fatalf("sources = %v, want 2 components", got)
+	}
+	// DAG: the unique root is the source.
+	dag := graph.NewBuilder(3).AddEdge(0, 1).AddEdge(0, 2).MustBuild()
+	if got := SourceComponents(dag); len(got) != 1 || got[0][0] != 0 {
+		t.Fatalf("sources = %v, want [[0]]", got)
+	}
+}
+
+func TestForEachReducedGraphCounts(t *testing.T) {
+	// Directed cycle on 3 nodes, F = ∅, maxDrop 1: each node has in-degree
+	// 1, so 2 choices each → 8 reduced graphs.
+	g, err := topology.DirectedCycle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err = ForEachReducedGraph(g, nodeset.New(3), 1, func(rg *graph.Graph, origID []int) bool {
+		count++
+		if rg.N() != 3 || len(origID) != 3 {
+			t.Fatalf("unexpected reduced shape n=%d", rg.N())
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("enumerated %d reduced graphs, want 8", count)
+	}
+}
+
+func TestForEachReducedGraphEarlyStop(t *testing.T) {
+	g, err := topology.DirectedCycle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err = ForEachReducedGraph(g, nodeset.New(3), 1, func(*graph.Graph, []int) bool {
+		count++
+		return count < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("early stop after %d", count)
+	}
+}
+
+func TestForEachReducedGraphRemovesFaultSet(t *testing.T) {
+	g, err := topology.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	err = ForEachReducedGraph(g, nodeset.FromMembers(4, 3), 0, func(rg *graph.Graph, origID []int) bool {
+		seen = true
+		if rg.N() != 3 {
+			t.Fatalf("n = %d, want 3", rg.N())
+		}
+		for _, oid := range origID {
+			if oid == 3 {
+				t.Fatal("fault node survived reduction")
+			}
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("no reduced graph produced")
+	}
+}
+
+// TestReducedGraphEquivalence is the theorem-level cross-validation: the
+// insulated-set checker and the reduced-graph characterization must agree
+// on every small random graph. They share no code beyond the graph type, so
+// agreement is strong evidence both are right.
+func TestReducedGraphEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4) // 2..5
+		f := rng.Intn(2)     // 0..1
+		g, err := topology.RandomDigraph(n, 0.3+0.5*rng.Float64(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byWitness, err := Check(g, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byReduced, err := CheckViaReducedGraphs(g, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byWitness.Satisfied != byReduced {
+			t.Fatalf("n=%d f=%d: insulated-set says %v, reduced-graph says %v\n%s",
+				n, f, byWitness.Satisfied, byReduced, g.EdgeListString())
+		}
+	}
+}
+
+func TestReducedGraphEquivalencePaperCases(t *testing.T) {
+	k4, err := topology.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := CheckViaReducedGraphs(k4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("K4 f=1 should pass the reduced-graph check")
+	}
+	cube, err := topology.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = CheckViaReducedGraphs(cube, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("3-cube f=1 should fail the reduced-graph check")
+	}
+}
+
+func TestCheckViaReducedGraphsLimits(t *testing.T) {
+	big, err := topology.Complete(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckViaReducedGraphs(big, 1); err == nil {
+		t.Error("n > 10 should be rejected")
+	}
+	small, err := topology.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckViaReducedGraphs(small, -1); err == nil {
+		t.Error("negative f should be rejected")
+	}
+}
+
+func TestSampleReducedGraphs(t *testing.T) {
+	// On a satisfying graph every sample has a unique source.
+	cn, err := topology.CoreNetwork(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique, total, err := SampleReducedGraphs(cn, 2, 200, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 200 || unique != total {
+		t.Errorf("core(7,2): %d/%d unique-source samples, want all", unique, total)
+	}
+	// Two triangles joined by one bridge: disconnecting needs only the two
+	// bridge endpoints to each drop one specific in-edge, so sampling finds
+	// multi-source reductions quickly. (The hypercube's violation, by
+	// contrast, needs 2^{d-1}·2 correlated deletions — random sampling is a
+	// screen, not a decision procedure; see the doc comment.)
+	barbell, err := topology.Barbell(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique, total, err = SampleReducedGraphs(barbell, 1, 500, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unique == total {
+		t.Error("barbell: sampling found no multi-source reduced graph in 500 draws")
+	}
+	if _, _, err := SampleReducedGraphs(barbell, 1, 10, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+}

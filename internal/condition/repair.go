@@ -1,0 +1,101 @@
+package condition
+
+import (
+	"fmt"
+
+	"iabc/internal/graph"
+)
+
+// Repair tooling: a Theorem 1 witness is constructive in both directions —
+// it tells the adversary where to attack, and it tells the network designer
+// where links are missing. RepairSuggestion converts one witness into a
+// minimal edge set neutralizing that partition; Repair iterates
+// check-and-patch until the graph satisfies the condition.
+
+// RepairSuggestion returns directed edges whose addition makes the
+// witness's partition satisfy C∪R ⇒ L: it picks the node of L with the
+// most existing in-edges from C∪R and tops it up to threshold. (Fixing
+// either side kills the witness; L is chosen arbitrarily but
+// deterministically.) The suggestion is minimal for this witness — exactly
+// threshold − max existing edges — but other partitions may still violate;
+// use Repair for a global fix.
+func RepairSuggestion(g *graph.Graph, w *Witness, threshold int) [][2]int {
+	sources := w.C.Union(w.R)
+	// Find the L node already closest to the threshold.
+	bestNode, bestHave := -1, -1
+	w.L.ForEach(func(v int) bool {
+		if have := g.CountInFrom(v, sources); have > bestHave {
+			bestNode, bestHave = v, have
+		}
+		return true
+	})
+	if bestNode < 0 || bestHave >= threshold {
+		return nil
+	}
+	// Add edges from sources not already feeding bestNode.
+	need := threshold - bestHave
+	existing := g.InSet(bestNode)
+	var out [][2]int
+	sources.ForEach(func(u int) bool {
+		if existing.Contains(u) {
+			return true
+		}
+		out = append(out, [2]int{u, bestNode})
+		need--
+		return need > 0
+	})
+	return out
+}
+
+// RepairResult describes a completed Repair run.
+type RepairResult struct {
+	// Repaired is the augmented graph satisfying the condition.
+	Repaired *graph.Graph
+	// Added lists the directed edges added, in order.
+	Added [][2]int
+	// Iterations counts check-and-patch rounds.
+	Iterations int
+}
+
+// Repair adds edges to g until it satisfies Theorem 1 for f, patching one
+// witness per iteration with RepairSuggestion. maxEdges caps the additions
+// (a safety valve — the complete graph always satisfies n > 3f, so
+// termination is guaranteed well below n² new edges, but runaway budgets
+// should be explicit). Greedy patching is not globally minimal; it is a
+// practical designer's tool, not an optimizer.
+func Repair(g *graph.Graph, f, maxEdges int) (*RepairResult, error) {
+	if 3*f >= g.N() {
+		return nil, fmt.Errorf("condition: no graph on %d nodes can tolerate f = %d (Corollary 2)", g.N(), f)
+	}
+	res := &RepairResult{Repaired: g}
+	threshold := SyncThreshold(f)
+	for {
+		chk, err := Check(res.Repaired, f)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations++
+		if chk.Satisfied {
+			return res, nil
+		}
+		suggested := RepairSuggestion(res.Repaired, chk.Witness, threshold)
+		if len(suggested) == 0 {
+			return nil, fmt.Errorf("condition: witness %v yielded no repair edges", chk.Witness)
+		}
+		if len(res.Added)+len(suggested) > maxEdges {
+			return nil, fmt.Errorf("condition: repair needs more than %d edges (added %d, next patch %d)",
+				maxEdges, len(res.Added), len(suggested))
+		}
+		b := graph.NewBuilder(res.Repaired.N())
+		res.Repaired.ForEachEdge(func(from, to int) { b.AddEdge(from, to) })
+		for _, e := range suggested {
+			b.AddEdge(e[0], e[1])
+		}
+		next, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		res.Repaired = next
+		res.Added = append(res.Added, suggested...)
+	}
+}

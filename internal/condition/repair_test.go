@@ -1,0 +1,151 @@
+package condition
+
+import (
+	"math/rand"
+	"testing"
+
+	"iabc/internal/topology"
+)
+
+func TestRepairSuggestionNeutralizesWitness(t *testing.T) {
+	g, err := topology.Chord(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := Check(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Satisfied {
+		t.Fatal("chord(7,2) should be violated")
+	}
+	edges := RepairSuggestion(g, chk.Witness, SyncThreshold(2))
+	if len(edges) == 0 {
+		t.Fatal("no suggestion for a genuine witness")
+	}
+	patched, err := topology.AddEdges(g, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The specific witness must no longer verify on the patched graph.
+	if err := chk.Witness.Verify(patched, 2, SyncThreshold(2)); err == nil {
+		t.Fatal("witness still violates after the suggested patch")
+	}
+}
+
+func TestRepairChord72(t *testing.T) {
+	g, err := topology.Chord(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Repair(g, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := Check(res.Repaired, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Satisfied {
+		t.Fatal("repaired graph still violates")
+	}
+	if len(res.Added) == 0 || res.Iterations < 2 {
+		t.Errorf("suspicious repair: %d edges in %d iterations", len(res.Added), res.Iterations)
+	}
+	// Every added edge must be new relative to the original.
+	for _, e := range res.Added {
+		if g.HasEdge(e[0], e[1]) {
+			t.Errorf("added edge %v already existed", e)
+		}
+	}
+	// Original edges all survive.
+	g.ForEachEdge(func(from, to int) {
+		if !res.Repaired.HasEdge(from, to) {
+			t.Errorf("repair dropped edge (%d,%d)", from, to)
+		}
+	})
+}
+
+func TestRepairHypercube(t *testing.T) {
+	g, err := topology.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Repair(g, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := Check(res.Repaired, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Satisfied {
+		t.Fatal("repaired 3-cube still violates")
+	}
+	t.Logf("3-cube repaired for f=1 with %d added edges in %d iterations", len(res.Added), res.Iterations)
+}
+
+func TestRepairAlreadySatisfied(t *testing.T) {
+	g, err := topology.CoreNetwork(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Repair(g, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 0 || res.Iterations != 1 {
+		t.Errorf("no-op repair added %d edges in %d iterations", len(res.Added), res.Iterations)
+	}
+}
+
+func TestRepairErrors(t *testing.T) {
+	small, err := topology.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Repair(small, 1, 10); err == nil {
+		t.Error("n ≤ 3f should be rejected")
+	}
+	cube, err := topology.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Repair(cube, 1, 1); err == nil {
+		t.Error("impossible edge budget should error")
+	}
+}
+
+func TestRepairRandomViolators(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	repaired := 0
+	for trial := 0; trial < 30 && repaired < 8; trial++ {
+		n := 5 + rng.Intn(4)
+		g, err := topology.RandomDigraph(n, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk, err := Check(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chk.Satisfied {
+			continue
+		}
+		res, err := Repair(g, 1, n*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := Check(res.Repaired, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !after.Satisfied {
+			t.Fatalf("repair left graph violated:\n%s", g.EdgeListString())
+		}
+		repaired++
+	}
+	if repaired < 3 {
+		t.Fatalf("only %d violating graphs sampled", repaired)
+	}
+}

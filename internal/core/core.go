@@ -1,0 +1,216 @@
+// Package core implements the paper's primary contribution on the value
+// level: Algorithm 1 — the iterative trimmed-mean update rule Z_i — together
+// with the UpdateRule abstraction that lets the simulation engines and the
+// benchmark harness swap in baseline and ablation rules.
+//
+// Each iteration t ≥ 1, every node i sends its state v_i[t−1] to its
+// out-neighbors, receives one value per in-neighbor (the vector r_i[t]),
+// and computes
+//
+//	v_i[t] = Z_i(r_i[t], v_i[t−1]).
+//
+// For Algorithm 1, Z_i sorts r_i[t], discards the f smallest and f largest
+// values (breaking ties arbitrarily — here: deterministically by sender ID),
+// and averages the survivors together with its own previous state with equal
+// weights a_i = 1/(|N⁻_i| + 1 − 2f) (equations (2)–(3)).
+//
+// The package is deliberately independent of graph and engine types: a rule
+// maps (own state, received values, f) to a new state, nothing more. That
+// keeps the contraction analysis (internal/analysis) and both engines
+// (internal/sim, internal/async) reusable over every rule.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInsufficientValues indicates that a node received too few values for
+// the trimming rule to be defined (fewer than 2f+1 in-neighbor values; by
+// Corollary 3 any graph admitting consensus provides at least 2f+1).
+var ErrInsufficientValues = errors.New("core: fewer than 2f+1 received values")
+
+// ValueFrom is one entry of the received vector r_i[t]: the value together
+// with the in-neighbor that sent it. Faulty senders may put anything in
+// Value; From is trustworthy because edges are authenticated (Section 2.1).
+type ValueFrom struct {
+	From  int
+	Value float64
+}
+
+// UpdateRule abstracts the transition function Z_i of the iterative
+// algorithm family defined in Section 2.3 (state = single real, no history,
+// no sense of time).
+type UpdateRule interface {
+	// Name identifies the rule in traces and benchmark output.
+	Name() string
+	// Validate reports whether a node with the given in-degree can run the
+	// rule tolerating f faults. Engines call it once per node at setup.
+	Validate(inDegree, f int) error
+	// Update computes the new state from the previous own state and the
+	// received vector. Implementations must not retain or mutate received.
+	Update(own float64, received []ValueFrom, f int) (float64, error)
+}
+
+// TrimmedMean is Algorithm 1. The zero value is ready to use.
+type TrimmedMean struct{}
+
+var _ UpdateRule = TrimmedMean{}
+
+// Name implements UpdateRule.
+func (TrimmedMean) Name() string { return "trimmed-mean" }
+
+// Validate requires in-degree ≥ 2f+1 (Corollary 3). The update itself is
+// defined for in-degree ≥ 2f, but with exactly 2f incoming values every
+// received value is discarded and the node freezes; the paper proves ≥ 2f+1
+// is necessary for consensus, so engines reject such configurations early.
+func (TrimmedMean) Validate(inDegree, f int) error {
+	if f < 0 {
+		return fmt.Errorf("core: negative f %d", f)
+	}
+	if f > 0 && inDegree < 2*f+1 {
+		return fmt.Errorf("%w: in-degree %d < 2f+1 = %d", ErrInsufficientValues, inDegree, 2*f+1)
+	}
+	if inDegree < 1 {
+		return fmt.Errorf("%w: in-degree %d < 1", ErrInsufficientValues, inDegree)
+	}
+	return nil
+}
+
+// Update implements equation (2): sort r_i[t], drop the f smallest and f
+// largest, and return a_i·(own + Σ_{j∈N*_i[t]} w_j) with
+// a_i = 1/(|r_i[t]|+1−2f).
+func (TrimmedMean) Update(own float64, received []ValueFrom, f int) (float64, error) {
+	survivors, err := Survivors(received, f)
+	if err != nil {
+		return 0, err
+	}
+	a := Weight(len(received), f)
+	sum := own
+	for _, s := range survivors {
+		sum += s.Value
+	}
+	return a * sum, nil
+}
+
+// Survivors returns N*_i[t] with values (step 3 of Algorithm 1): the
+// received vector sorted ascending with the f smallest and f largest
+// entries removed. Ties are broken by sender ID, a concrete instance of the
+// paper's "breaking ties arbitrarily". The input is not mutated.
+//
+// It returns ErrInsufficientValues if len(received) < 2f+1 (or < 1 when
+// f = 0).
+func Survivors(received []ValueFrom, f int) ([]ValueFrom, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("core: negative f %d", f)
+	}
+	min := 2*f + 1
+	if f == 0 {
+		min = 1
+	}
+	if len(received) < min {
+		return nil, fmt.Errorf("%w: got %d values with f = %d", ErrInsufficientValues, len(received), f)
+	}
+	sorted := make([]ValueFrom, len(received))
+	copy(sorted, received)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Value != sorted[j].Value {
+			return sorted[i].Value < sorted[j].Value
+		}
+		return sorted[i].From < sorted[j].From
+	})
+	return sorted[f : len(sorted)-f], nil
+}
+
+// Weight returns a_i = 1/(inDegree + 1 − 2f), the equal weight of
+// equation (2). It is the contraction parameter entering α (equation (3)).
+func Weight(inDegree, f int) float64 {
+	return 1.0 / float64(inDegree+1-2*f)
+}
+
+// Mean is the non-fault-tolerant baseline: the plain average of the own
+// state and all received values (the classical f = 0 iterative consensus of
+// [4]). Under Byzantine faults it violates validity — the E9 ablation
+// demonstrates why trimming is essential.
+type Mean struct{}
+
+var _ UpdateRule = Mean{}
+
+// Name implements UpdateRule.
+func (Mean) Name() string { return "mean" }
+
+// Validate requires at least one received value.
+func (Mean) Validate(inDegree, f int) error {
+	if inDegree < 1 {
+		return fmt.Errorf("%w: in-degree %d < 1", ErrInsufficientValues, inDegree)
+	}
+	return nil
+}
+
+// Update averages own and all received values with equal weight
+// 1/(len(received)+1); f is ignored.
+func (Mean) Update(own float64, received []ValueFrom, f int) (float64, error) {
+	if len(received) == 0 {
+		return 0, fmt.Errorf("%w: got 0 values", ErrInsufficientValues)
+	}
+	sum := own
+	for _, r := range received {
+		sum += r.Value
+	}
+	return sum / float64(len(received)+1), nil
+}
+
+// TrimmedMidpoint is an ablation rule: trim exactly like Algorithm 1, then
+// jump to the midpoint of the surviving interval (including the own state)
+// instead of averaging. It keeps the validity argument of Theorem 2 (the
+// midpoint of values in [µ[t−1], U[t−1]] stays in range) but abandons the
+// a_i weight structure that Lemma 5's contraction bound is built on —
+// benchmark E9 contrasts its convergence with Algorithm 1's.
+type TrimmedMidpoint struct{}
+
+var _ UpdateRule = TrimmedMidpoint{}
+
+// Name implements UpdateRule.
+func (TrimmedMidpoint) Name() string { return "trimmed-midpoint" }
+
+// Validate matches TrimmedMean's requirement.
+func (TrimmedMidpoint) Validate(inDegree, f int) error {
+	return TrimmedMean{}.Validate(inDegree, f)
+}
+
+// Update returns (min+max)/2 over the own state and the trimmed survivors.
+func (TrimmedMidpoint) Update(own float64, received []ValueFrom, f int) (float64, error) {
+	survivors, err := Survivors(received, f)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := own, own
+	for _, s := range survivors {
+		if s.Value < lo {
+			lo = s.Value
+		}
+		if s.Value > hi {
+			hi = s.Value
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// RangeOf returns the smallest and largest values in states. It panics on
+// an empty slice (callers always pass at least one fault-free node).
+func RangeOf(states []float64) (lo, hi float64) {
+	if len(states) == 0 {
+		panic("core: RangeOf of empty slice")
+	}
+	lo, hi = states[0], states[0]
+	for _, v := range states[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func vf(pairs ...float64) []ValueFrom {
+	out := make([]ValueFrom, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, ValueFrom{From: int(pairs[i]), Value: pairs[i+1]})
+	}
+	return out
+}
+
+func TestSurvivorsTrimsExtremes(t *testing.T) {
+	received := vf(0, 5.0, 1, 1.0, 2, 3.0, 3, 9.0, 4, 2.0)
+	got, err := Survivors(received, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vf(4, 2.0, 2, 3.0, 0, 5.0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Survivors = %v, want %v", got, want)
+	}
+}
+
+func TestSurvivorsF0KeepsAll(t *testing.T) {
+	received := vf(0, 2.0, 1, 1.0)
+	got, err := Survivors(received, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("f=0 should keep all values, got %v", got)
+	}
+}
+
+func TestSurvivorsTieBreakBySender(t *testing.T) {
+	// Four equal values: with f=1 the trimmed ones are the lowest and
+	// highest sender IDs (deterministic "arbitrary" tie-break).
+	received := vf(3, 1.0, 1, 1.0, 2, 1.0, 0, 1.0)
+	got, err := Survivors(received, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vf(1, 1.0, 2, 1.0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Survivors = %v, want %v", got, want)
+	}
+}
+
+func TestSurvivorsErrors(t *testing.T) {
+	if _, err := Survivors(vf(0, 1.0, 1, 2.0), 1); !errors.Is(err, ErrInsufficientValues) {
+		t.Errorf("2 values f=1: err = %v, want ErrInsufficientValues", err)
+	}
+	if _, err := Survivors(nil, 0); !errors.Is(err, ErrInsufficientValues) {
+		t.Errorf("0 values f=0: err = %v, want ErrInsufficientValues", err)
+	}
+	if _, err := Survivors(vf(0, 1.0), -1); err == nil {
+		t.Error("negative f should error")
+	}
+}
+
+func TestSurvivorsDoesNotMutateInput(t *testing.T) {
+	received := vf(0, 5.0, 1, 1.0, 2, 3.0)
+	orig := append([]ValueFrom(nil), received...)
+	if _, err := Survivors(received, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(received, orig) {
+		t.Fatal("Survivors mutated its input")
+	}
+}
+
+func TestWeight(t *testing.T) {
+	cases := []struct {
+		inDeg, f int
+		want     float64
+	}{
+		{3, 1, 1.0 / 2.0}, // 3+1-2 = 2
+		{5, 2, 1.0 / 2.0}, // 5+1-4 = 2
+		{4, 0, 1.0 / 5.0},
+		{6, 1, 1.0 / 5.0},
+	}
+	for _, tc := range cases {
+		if got := Weight(tc.inDeg, tc.f); math.Abs(got-tc.want) > 1e-15 {
+			t.Errorf("Weight(%d,%d) = %v, want %v", tc.inDeg, tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestTrimmedMeanHandComputed(t *testing.T) {
+	// own=4; received 1,2,3,9,10 with f=1 -> survivors 2,3,9;
+	// a = 1/(5+1-2) = 1/4; v' = (4+2+3+9)/4 = 4.5.
+	rule := TrimmedMean{}
+	got, err := rule.Update(4, vf(0, 1, 1, 2, 2, 3, 3, 9, 4, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4.5) > 1e-12 {
+		t.Fatalf("Update = %v, want 4.5", got)
+	}
+}
+
+func TestTrimmedMeanF0IsPlainAverage(t *testing.T) {
+	rule := TrimmedMean{}
+	got, err := rule.Update(1, vf(0, 2, 1, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Update = %v, want %v", got, want)
+	}
+}
+
+func TestTrimmedMeanValidate(t *testing.T) {
+	rule := TrimmedMean{}
+	if err := rule.Validate(3, 1); err != nil {
+		t.Errorf("in-degree 3, f=1 should validate: %v", err)
+	}
+	if err := rule.Validate(2, 1); !errors.Is(err, ErrInsufficientValues) {
+		t.Errorf("in-degree 2, f=1: err = %v, want ErrInsufficientValues", err)
+	}
+	if err := rule.Validate(0, 0); !errors.Is(err, ErrInsufficientValues) {
+		t.Errorf("in-degree 0: err = %v", err)
+	}
+	if err := rule.Validate(3, -1); err == nil {
+		t.Error("negative f should error")
+	}
+}
+
+func TestMeanRule(t *testing.T) {
+	rule := Mean{}
+	got, err := rule.Update(1, vf(0, 2, 1, 3, 2, 6), 1) // f ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if _, err := rule.Update(1, nil, 0); !errors.Is(err, ErrInsufficientValues) {
+		t.Errorf("empty received: err = %v", err)
+	}
+	if err := rule.Validate(0, 0); err == nil {
+		t.Error("in-degree 0 should fail validation")
+	}
+	if err := rule.Validate(1, 5); err != nil {
+		t.Errorf("Mean ignores f: %v", err)
+	}
+}
+
+func TestTrimmedMidpoint(t *testing.T) {
+	rule := TrimmedMidpoint{}
+	// own=0; received 1,2,3,9,10 f=1 -> survivors 2,3,9; midpoint over
+	// {0,2,3,9} = 4.5.
+	got, err := rule.Update(0, vf(0, 1, 1, 2, 2, 3, 3, 9, 4, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4.5) > 1e-12 {
+		t.Fatalf("midpoint = %v, want 4.5", got)
+	}
+	if _, err := rule.Update(0, vf(0, 1), 1); !errors.Is(err, ErrInsufficientValues) {
+		t.Errorf("too few values: err = %v", err)
+	}
+	if err := rule.Validate(2, 1); err == nil {
+		t.Error("validate should match TrimmedMean")
+	}
+}
+
+func TestRuleNames(t *testing.T) {
+	for _, tc := range []struct {
+		rule UpdateRule
+		want string
+	}{
+		{TrimmedMean{}, "trimmed-mean"},
+		{Mean{}, "mean"},
+		{TrimmedMidpoint{}, "trimmed-midpoint"},
+	} {
+		if got := tc.rule.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	lo, hi := RangeOf([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("RangeOf = (%v,%v), want (-1,7)", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RangeOf(empty) did not panic")
+		}
+	}()
+	RangeOf(nil)
+}
+
+// TestQuickTrimmedMeanSafety is the value-level heart of Theorem 2: with at
+// most f arbitrary (faulty) values among ≥ 2f+1 received, the update stays
+// within the convex hull of the own state and the fault-free received
+// values.
+func TestQuickTrimmedMeanSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rule := TrimmedMean{}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rng}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := r.Intn(3)
+		nRecv := 2*f + 1 + r.Intn(5)
+		own := r.Float64()
+		lo, hi := own, own
+		received := make([]ValueFrom, nRecv)
+		// Choose up to f faulty positions with wild values.
+		nFaulty := r.Intn(f + 1)
+		for i := range received {
+			var v float64
+			if i < nFaulty {
+				v = (r.Float64() - 0.5) * 1e9 // wild
+			} else {
+				v = r.Float64() // honest values in [0,1)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			received[i] = ValueFrom{From: i, Value: v}
+		}
+		r.Shuffle(len(received), func(i, j int) { received[i], received[j] = received[j], received[i] })
+		got, err := rule.Update(own, received, f)
+		if err != nil {
+			return false
+		}
+		const tol = 1e-9
+		return got >= lo-tol && got <= hi+tol
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUpdateWithinHull: for every rule, with no faulty values the
+// update stays within the hull of all inputs — the f = 0 validity property.
+func TestQuickUpdateWithinHull(t *testing.T) {
+	rules := []UpdateRule{TrimmedMean{}, Mean{}, TrimmedMidpoint{}}
+	rng := rand.New(rand.NewSource(10))
+	for _, rule := range rules {
+		rule := rule
+		prop := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			f := r.Intn(2)
+			nRecv := 2*f + 1 + r.Intn(4)
+			own := r.NormFloat64()
+			lo, hi := own, own
+			received := make([]ValueFrom, nRecv)
+			for i := range received {
+				v := r.NormFloat64()
+				received[i] = ValueFrom{From: i, Value: v}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			got, err := rule.Update(own, received, f)
+			if err != nil {
+				return false
+			}
+			const tol = 1e-9
+			return got >= lo-tol && got <= hi+tol
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 800, Rand: rng}); err != nil {
+			t.Fatalf("rule %s: %v", rule.Name(), err)
+		}
+	}
+}
+
+// TestQuickTrimmedMeanLowerBoundLemma3 checks the per-value inequality of
+// Lemma 3: v_i[t] − ψ ≥ a_i (w_j − ψ) for every surviving j and any
+// ψ ≤ min over honest values.
+func TestQuickTrimmedMeanLowerBoundLemma3(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rule := TrimmedMean{}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := 1 + r.Intn(2)
+		nRecv := 2*f + 1 + r.Intn(4)
+		own := r.Float64()
+		received := make([]ValueFrom, nRecv)
+		lo := own
+		for i := range received {
+			v := r.Float64()
+			received[i] = ValueFrom{From: i, Value: v}
+			if v < lo {
+				lo = v
+			}
+		}
+		psi := lo - r.Float64() // any ψ ≤ µ
+		got, err := rule.Update(own, received, f)
+		if err != nil {
+			return false
+		}
+		surv, err := Survivors(received, f)
+		if err != nil {
+			return false
+		}
+		a := Weight(nRecv, f)
+		const tol = 1e-9
+		if got-psi < a*(own-psi)-tol {
+			return false
+		}
+		for _, s := range surv {
+			if got-psi < a*(s.Value-psi)-tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"iabc/internal/core"
+)
+
+// ExampleTrimmedMean_Update evaluates one step of Algorithm 1 by hand:
+// own state 4, received {1, 2, 3, 9, 10}, f = 1. The trim discards 1 and
+// 10; the weight is a = 1/(5+1−2) = 1/4; the update is (4+2+3+9)/4 = 4.5.
+func ExampleTrimmedMean_Update() {
+	received := []core.ValueFrom{
+		{From: 0, Value: 1},
+		{From: 1, Value: 2},
+		{From: 2, Value: 3},
+		{From: 3, Value: 9},
+		{From: 4, Value: 10},
+	}
+	v, err := core.TrimmedMean{}.Update(4, received, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v)
+	// Output:
+	// 4.5
+}
+
+// ExampleSurvivors shows N*_i[t]: the received vector after discarding the
+// f smallest and f largest values.
+func ExampleSurvivors() {
+	received := []core.ValueFrom{
+		{From: 0, Value: 5},
+		{From: 1, Value: 1},
+		{From: 2, Value: 3},
+		{From: 3, Value: 9},
+		{From: 4, Value: 2},
+	}
+	surv, err := core.Survivors(received, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range surv {
+		fmt.Printf("from %d: %g\n", s.From, s.Value)
+	}
+	// Output:
+	// from 4: 2
+	// from 2: 3
+	// from 0: 5
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzTrimmedMeanValidity fuzzes the value-level safety property behind
+// Theorem 2: whatever f wild values an adversary injects among 2f+1 honest
+// ones, the update never leaves the convex hull of the honest inputs.
+func FuzzTrimmedMeanValidity(f *testing.F) {
+	f.Add(0.5, 0.1, 0.9, 0.4, 1e9, uint8(1))
+	f.Add(0.0, 0.0, 0.0, 0.0, -1e12, uint8(1))
+	f.Add(1.0, 2.0, 3.0, 4.0, 5.0, uint8(0))
+	f.Fuzz(func(t *testing.T, own, h1, h2, h3, wild float64, faults uint8) {
+		for _, v := range []float64{own, h1, h2, h3, wild} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return // the algorithm operates on reals
+			}
+		}
+		fCount := int(faults % 2) // 0 or 1
+		received := []ValueFrom{
+			{From: 0, Value: h1},
+			{From: 1, Value: h2},
+			{From: 2, Value: h3},
+		}
+		if fCount == 1 {
+			received = append(received, ValueFrom{From: 3, Value: wild})
+		}
+		got, err := TrimmedMean{}.Update(own, received, fCount)
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		lo, hi := own, own
+		for _, v := range []float64{h1, h2, h3} {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		// With fCount = 0 the wild value is absent; with fCount = 1 it is
+		// present but must be trimmed or sandwiched. Allow relative slack
+		// for float accumulation.
+		slack := 1e-9 * (1 + math.Abs(lo) + math.Abs(hi))
+		if got < lo-slack || got > hi+slack {
+			t.Fatalf("update %v left honest hull [%v, %v] (own=%v wild=%v f=%d)",
+				got, lo, hi, own, wild, fCount)
+		}
+	})
+}

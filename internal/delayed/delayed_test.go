@@ -1,0 +1,238 @@
+package delayed
+
+import (
+	"math/rand"
+	"testing"
+
+	"iabc/internal/adversary"
+	"iabc/internal/core"
+	"iabc/internal/nodeset"
+	"iabc/internal/sim"
+	"iabc/internal/topology"
+	"iabc/internal/workload"
+)
+
+func TestConfigValidate(t *testing.T) {
+	g, err := topology.CoreNetwork(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Config{
+		G: g, F: 2, Initial: workload.Ramp(7), Rule: core.TrimmedMean{},
+		B: 3, Stale: Fresh{}, MaxRounds: 10,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(c *Config)
+	}{
+		{"nil graph", func(c *Config) { c.G = nil }},
+		{"bad initial", func(c *Config) { c.Initial = nil }},
+		{"nil rule", func(c *Config) { c.Rule = nil }},
+		{"nil policy", func(c *Config) { c.Stale = nil }},
+		{"zero B", func(c *Config) { c.B = 0 }},
+		{"zero rounds", func(c *Config) { c.MaxRounds = 0 }},
+		{"negative F", func(c *Config) { c.F = -1 }},
+		{"faulty capacity", func(c *Config) { c.Faulty = nodeset.FromMembers(3, 0) }},
+		{"faulty no adversary", func(c *Config) { c.Faulty = nodeset.FromMembers(7, 0) }},
+		{"all faulty", func(c *Config) {
+			c.Faulty = nodeset.Universe(7)
+			c.Adversary = adversary.Fixed{Value: 0}
+		}},
+		{"in-degree too small", func(c *Config) { c.F = 3 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestFreshMatchesSynchronousEngine(t *testing.T) {
+	// With B = 1 (or the Fresh policy) the model degenerates to the
+	// synchronous engine: traces must be bit-identical.
+	g, err := topology.CoreNetwork(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := nodeset.FromMembers(7, 0, 1)
+	initial := workload.Ramp(7)
+
+	syncTr, err := sim.Sequential{}.Run(sim.Config{
+		G: g, F: 2, Faulty: faulty, Initial: initial,
+		Rule:      core.TrimmedMean{},
+		Adversary: adversary.Extremes{Amplitude: 10},
+		MaxRounds: 50, Epsilon: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{1, 4} {
+		delTr, err := Run(Config{
+			G: g, F: 2, Faulty: faulty, Initial: initial,
+			Rule:      core.TrimmedMean{},
+			Adversary: adversary.Extremes{Amplitude: 10},
+			B:         b, Stale: Fresh{},
+			MaxRounds: 50, Epsilon: 1e-9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if delTr.Rounds != syncTr.Rounds || delTr.Converged != syncTr.Converged {
+			t.Fatalf("B=%d: rounds/converged %d/%v vs sync %d/%v",
+				b, delTr.Rounds, delTr.Converged, syncTr.Rounds, syncTr.Converged)
+		}
+		for r := 0; r <= syncTr.Rounds; r++ {
+			if delTr.U[r] != syncTr.U[r] || delTr.Mu[r] != syncTr.Mu[r] {
+				t.Fatalf("B=%d round %d: U/µ diverge from synchronous engine", b, r)
+			}
+		}
+	}
+}
+
+func TestConvergesUnderMaxStaleness(t *testing.T) {
+	g, err := topology.CoreNetwork(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(Config{
+		G: g, F: 2, Faulty: nodeset.FromMembers(7, 0, 1),
+		Initial:   workload.Bimodal(7, 0, 1),
+		Rule:      core.TrimmedMean{},
+		Adversary: adversary.Hug{High: true},
+		B:         5, Stale: MaxStale{B: 5},
+		MaxRounds: 20000, Epsilon: 1e-7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Converged {
+		t.Fatalf("no convergence under max staleness; range %v", tr.FinalRange())
+	}
+	if r, bad := tr.EnvelopeViolation(1e-9); bad {
+		t.Fatalf("envelope validity violated at round %d", r)
+	}
+}
+
+func TestStalenessSlowsConvergence(t *testing.T) {
+	// Rounds-to-ε must not decrease as the staleness bound grows (the E15
+	// shape).
+	g, err := topology.CoreNetwork(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, b := range []int{1, 3, 6} {
+		tr, err := Run(Config{
+			G: g, F: 2, Faulty: nodeset.FromMembers(7, 0, 1),
+			Initial:   workload.Bimodal(7, 0, 1),
+			Rule:      core.TrimmedMean{},
+			Adversary: adversary.Extremes{Amplitude: 10},
+			B:         b, Stale: MaxStale{B: b},
+			MaxRounds: 50000, Epsilon: 1e-7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Converged {
+			t.Fatalf("B=%d: no convergence", b)
+		}
+		if tr.Rounds < prev {
+			t.Fatalf("B=%d converged in %d rounds, faster than smaller bound's %d", b, tr.Rounds, prev)
+		}
+		prev = tr.Rounds
+	}
+}
+
+func TestUniformStaleDeterministicAndValid(t *testing.T) {
+	g, err := topology.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(seed int64) *Trace {
+		tr, err := Run(Config{
+			G: g, F: 1, Faulty: nodeset.FromMembers(6, 5),
+			Initial:   workload.Uniform(6, 0, 10, rand.New(rand.NewSource(7))),
+			Rule:      core.TrimmedMean{},
+			Adversary: adversary.Fixed{Value: 1e6},
+			B:         4, Stale: &UniformStale{B: 4, Rng: rand.New(rand.NewSource(seed))},
+			MaxRounds: 2000, Epsilon: 1e-7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := mk(9), mk(9)
+	if a.Rounds != b.Rounds || a.FinalRange() != b.FinalRange() {
+		t.Fatal("same seed produced different runs")
+	}
+	if !a.Converged {
+		t.Fatal("no convergence under uniform staleness")
+	}
+	if r, bad := a.EnvelopeViolation(1e-9); bad {
+		t.Fatalf("envelope violated at %d", r)
+	}
+	// The liar at 1e6 must never leak into the envelope.
+	for r := 0; r <= a.Rounds; r++ {
+		if a.U[r] > 10+1e-9 {
+			t.Fatalf("round %d: U = %v escaped the honest hull", r, a.U[r])
+		}
+	}
+}
+
+func TestEarlyRoundsClampStaleness(t *testing.T) {
+	// Round 1 has only v[0] available: even MaxStale(B=8) must run without
+	// touching uninitialized history.
+	g, err := topology.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(Config{
+		G: g, F: 1, Initial: []float64{0, 1, 2, 3},
+		Rule: core.TrimmedMean{},
+		B:    8, Stale: MaxStale{B: 8},
+		MaxRounds: 2000, Epsilon: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Converged {
+		t.Fatalf("no convergence; range %v", tr.FinalRange())
+	}
+	// Staleness this deep is genuinely slow (the recurrence
+	// x[t] = x[t−1]/2 + x[t−8]/2 has its second characteristic root near
+	// 0.98), so only convergence within the cap is asserted.
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []StalePolicy{Fresh{}, MaxStale{B: 3}, &UniformStale{B: 3}} {
+		if p.Name() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}
+
+func TestAlreadyConvergedAtStart(t *testing.T) {
+	g, err := topology.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(Config{
+		G: g, F: 1, Initial: workload.Constant(4, 5),
+		Rule: core.TrimmedMean{}, B: 2, Stale: Fresh{},
+		MaxRounds: 10, Epsilon: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Converged || tr.Rounds != 0 {
+		t.Fatalf("converged=%v rounds=%d, want true/0", tr.Converged, tr.Rounds)
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"iabc/internal/adversary"
+	"iabc/internal/condition"
+	"iabc/internal/core"
+	"iabc/internal/sim"
+	"iabc/internal/topology"
+)
+
+// E10Result characterizes the cost of the machinery itself (the paper's
+// condition is coNP-hard to check in general; this quantifies what "exact
+// but exponential" means in practice, and how fast the two engines step):
+//
+//   - exact checker work (fault sets and candidate sets examined, wall
+//     time) across a family of growing core networks;
+//   - rounds/second for the sequential and concurrent engines.
+//
+// Exact timings live in bench_test.go; this table gives the deterministic
+// counters plus a coarse wall-clock so `iabc experiments` output stands on
+// its own.
+type E10Result struct {
+	Checker []E10CheckerRow
+	Engines []E10EngineRow
+}
+
+// E10CheckerRow is one condition-check cost measurement.
+type E10CheckerRow struct {
+	Graph      string
+	N, F       int
+	Satisfied  bool
+	FaultSets  int64
+	Candidates int64
+	Elapsed    time.Duration
+}
+
+// E10EngineRow is one engine throughput measurement.
+type E10EngineRow struct {
+	Engine string
+	N      int
+	Rounds int
+	// RoundsPerSec is the coarse throughput (benchmarks give the precise
+	// figure).
+	RoundsPerSec float64
+}
+
+// Title implements Report.
+func (*E10Result) Title() string {
+	return "E10 — cost of exactness: checker work growth and engine throughput"
+}
+
+// Table implements Report.
+func (r *E10Result) Table() string {
+	rows := make([][]string, 0, len(r.Checker))
+	for _, c := range r.Checker {
+		rows = append(rows, []string{
+			c.Graph, fmt.Sprint(c.N), fmt.Sprint(c.F), yes(c.Satisfied),
+			fmt.Sprint(c.FaultSets), fmt.Sprint(c.Candidates), c.Elapsed.Round(time.Microsecond).String(),
+		})
+	}
+	out := table([]string{"graph", "n", "f", "satisfied", "fault sets", "candidates", "elapsed"}, rows)
+
+	engRows := make([][]string, 0, len(r.Engines))
+	for _, e := range r.Engines {
+		engRows = append(engRows, []string{
+			e.Engine, fmt.Sprint(e.N), fmt.Sprint(e.Rounds), fmt.Sprintf("%.0f", e.RoundsPerSec),
+		})
+	}
+	return out + table([]string{"engine", "n", "rounds", "rounds/sec"}, engRows)
+}
+
+// E10Scaling measures checker work on core networks (n = 3f+1 with growing
+// f, plus growing n at f = 2) and engine throughput on CoreNetwork(16, 2).
+func E10Scaling() (*E10Result, error) {
+	res := &E10Result{}
+	cases := []struct{ n, f int }{
+		{4, 1}, {7, 2}, {10, 3}, {13, 4},
+		{10, 2}, {14, 2}, {18, 2},
+	}
+	for _, tc := range cases {
+		g, err := topology.CoreNetwork(tc.n, tc.f)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		chk, err := condition.Check(g, tc.f)
+		if err != nil {
+			return nil, err
+		}
+		res.Checker = append(res.Checker, E10CheckerRow{
+			Graph: fmt.Sprintf("core(%d,%d)", tc.n, tc.f),
+			N:     tc.n, F: tc.f,
+			Satisfied:  chk.Satisfied,
+			FaultSets:  chk.FaultSetsExamined,
+			Candidates: chk.CandidatesExamined,
+			Elapsed:    time.Since(start),
+		})
+	}
+
+	g, err := topology.CoreNetwork(16, 2)
+	if err != nil {
+		return nil, err
+	}
+	const rounds = 2000
+	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Concurrent{}} {
+		start := time.Now()
+		tr, err := eng.Run(sim.Config{
+			G: g, F: 2,
+			Faulty:    faultySetOfSize(16, 2),
+			Initial:   ramp(16),
+			Rule:      core.TrimmedMean{},
+			Adversary: adversary.Hug{High: true},
+			MaxRounds: rounds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		res.Engines = append(res.Engines, E10EngineRow{
+			Engine: eng.Name(), N: 16, Rounds: tr.Rounds,
+			RoundsPerSec: float64(tr.Rounds) / elapsed.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Passed reports whether all checker rows verified the expected
+// satisfiability (core networks always satisfy) and both engines completed.
+func (r *E10Result) Passed() bool {
+	for _, c := range r.Checker {
+		if !c.Satisfied {
+			return false
+		}
+	}
+	return len(r.Checker) > 0 && len(r.Engines) == 2
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import "testing"
+
+func TestE11ConjectureHoldsForF1AndF2(t *testing.T) {
+	r, err := E11Conjecture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = 1: the unique minimal satisfying graph is K4 = CoreNetwork(4,1).
+	if r.F1.GraphsChecked != 64 {
+		t.Errorf("f=1 checked %d graphs, want 64", r.F1.GraphsChecked)
+	}
+	if r.F1.MinEdges != 6 || r.F1.CoreEdges != 6 {
+		t.Errorf("f=1 min/core edges = %d/%d, want 6/6", r.F1.MinEdges, r.F1.CoreEdges)
+	}
+	if r.F1.SatisfiersAtMin != 1 {
+		t.Errorf("f=1 satisfiers at min = %d, want exactly 1 (K4)", r.F1.SatisfiersAtMin)
+	}
+	if !r.F1.ConjectureHolds {
+		t.Error("conjecture should hold for f=1")
+	}
+
+	// f = 2: all 210 sub-20-edge candidates (complement matchings) fail.
+	if r.F2.Checked18 != 105 || r.F2.Checked19 != 105 {
+		t.Errorf("f=2 candidates = %d+%d, want 105+105", r.F2.Checked18, r.F2.Checked19)
+	}
+	if r.F2.Satisfied18 != 0 || r.F2.Satisfied19 != 0 {
+		t.Errorf("f=2: %d+%d candidates below 20 edges satisfy — conjecture refuted?!",
+			r.F2.Satisfied18, r.F2.Satisfied19)
+	}
+	if r.F2.MinEdges != 20 || !r.F2.ConjectureHolds {
+		t.Errorf("f=2 min edges = %d, conjecture holds = %v", r.F2.MinEdges, r.F2.ConjectureHolds)
+	}
+	checkReport(t, r)
+}
+
+func TestMatchingsEnumeration(t *testing.T) {
+	if got := len(matchings(7, 3)); got != 105 {
+		t.Errorf("matchings(7,3) = %d, want 105", got)
+	}
+	if got := len(matchings(7, 2)); got != 105 {
+		t.Errorf("matchings(7,2) = %d, want 105", got)
+	}
+	if got := len(matchings(4, 2)); got != 3 {
+		t.Errorf("matchings(4,2) = %d, want 3 (perfect matchings of K4)", got)
+	}
+	// Every matching must have disjoint endpoints.
+	for _, m := range matchings(6, 3) {
+		seen := map[int]bool{}
+		for _, e := range m {
+			if seen[e[0]] || seen[e[1]] {
+				t.Fatalf("matching %v reuses a vertex", m)
+			}
+			seen[e[0]], seen[e[1]] = true, true
+		}
+	}
+	if got := len(matchings(6, 3)); got != 15 {
+		t.Errorf("matchings(6,3) = %d, want 15", got)
+	}
+}
+
+func TestE12Density(t *testing.T) {
+	r, err := E12Density()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("density sweep failed: %+v", r)
+	}
+	// Rounds-to-ε must be non-increasing in density (the headline shape).
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].RoundsToEps > r.Rows[i-1].RoundsToEps {
+			t.Errorf("rounds increased with density: k=%d needs %d > k=%d's %d",
+				r.Rows[i].Offsets, r.Rows[i].RoundsToEps,
+				r.Rows[i-1].Offsets, r.Rows[i-1].RoundsToEps)
+		}
+	}
+	// α must be non-increasing in density (a_i = 1/(d+1−2f)).
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Alpha > r.Rows[i-1].Alpha {
+			t.Errorf("alpha increased with density")
+		}
+	}
+	checkReport(t, r)
+}

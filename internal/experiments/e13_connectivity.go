@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iabc/internal/condition"
+	"iabc/internal/graph"
+	"iabc/internal/topology"
+)
+
+// E13Result quantifies the paper's repeated remark (Sections 6.2, 6.3) that
+// classical connectivity does not capture iterative consensus: undirected
+// connectivity > 2f suffices for *non-iterative* algorithms [12], so a
+// graph with vertex connectivity κ would "classically" tolerate
+// f_κ = ⌈κ/2⌉ − 1 faults — yet the iterative family's true tolerance is
+// MaxF under Theorem 1, which can be far lower.
+type E13Result struct {
+	Rows []E13Row
+}
+
+// E13Row is one graph's connectivity-vs-condition comparison.
+type E13Row struct {
+	Graph string
+	N     int
+	// Kappa is the vertex connectivity κ.
+	Kappa int
+	// ClassicalF is the fault tolerance connectivity alone would promise a
+	// non-iterative algorithm: the largest f with κ > 2f.
+	ClassicalF int
+	// IterativeF is MaxF — the true tolerance of the iterative family.
+	IterativeF int
+	// Gap is ClassicalF − IterativeF.
+	Gap int
+}
+
+// Title implements Report.
+func (*E13Result) Title() string {
+	return "E13 — connectivity is not sufficient: κ-based tolerance vs the tight condition"
+}
+
+// Table implements Report.
+func (r *E13Result) Table() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Graph, fmt.Sprint(row.N), fmt.Sprint(row.Kappa),
+			fmt.Sprint(row.ClassicalF), fmt.Sprint(row.IterativeF), fmt.Sprint(row.Gap),
+		})
+	}
+	return table([]string{"graph", "n", "κ", "classical f (κ>2f)", "iterative f (Thm 1)", "gap"}, rows)
+}
+
+// E13Connectivity compares the two notions on the paper's menagerie.
+func E13Connectivity() (*E13Result, error) {
+	res := &E13Result{}
+	add := func(name string, g *graph.Graph) error {
+		kappa := g.VertexConnectivity()
+		classical := 0
+		if kappa > 0 {
+			classical = (kappa - 1) / 2
+		}
+		iterative, err := condition.MaxF(g)
+		if err != nil {
+			return err
+		}
+		if iterative < 0 {
+			iterative = 0 // report floor; "-1" means not even f=0
+		}
+		res.Rows = append(res.Rows, E13Row{
+			Graph: name, N: g.N(), Kappa: kappa,
+			ClassicalF: classical, IterativeF: iterative,
+			Gap: classical - iterative,
+		})
+		return nil
+	}
+
+	cube3, err := topology.Hypercube(3)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("hypercube d=3", cube3); err != nil {
+		return nil, err
+	}
+	cube4, err := topology.Hypercube(4)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("hypercube d=4", cube4); err != nil {
+		return nil, err
+	}
+	chord72, err := topology.Chord(7, 2)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("chord(7,2)", chord72); err != nil {
+		return nil, err
+	}
+	core72, err := topology.CoreNetwork(7, 2)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("core(7,2)", core72); err != nil {
+		return nil, err
+	}
+	k7, err := topology.Complete(7)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("K7", k7); err != nil {
+		return nil, err
+	}
+	bip, err := topology.CompleteBipartite(5, 5)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("K_{5,5}", bip); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Passed asserts the paper's headline: some graph shows a strictly positive
+// gap (connectivity over-promises), while core networks and complete graphs
+// show none.
+func (r *E13Result) Passed() bool {
+	gapSeen := false
+	for _, row := range r.Rows {
+		if row.Gap < 0 {
+			return false // the condition can never beat connectivity
+		}
+		if row.Gap > 0 {
+			gapSeen = true
+		}
+		if (row.Graph == "core(7,2)" || row.Graph == "K7") && row.Gap != 0 {
+			return false
+		}
+	}
+	return gapSeen && len(r.Rows) > 0
+}

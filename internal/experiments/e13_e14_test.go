@@ -1,0 +1,74 @@
+package experiments
+
+import "testing"
+
+func TestE13Connectivity(t *testing.T) {
+	r, err := E13Connectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("connectivity comparison failed: %+v", r)
+	}
+	byName := map[string]E13Row{}
+	for _, row := range r.Rows {
+		byName[row.Graph] = row
+	}
+	// The paper's two showcases:
+	// hypercube d=4: κ = 4 → classical f = 1, iterative f = 0.
+	if row := byName["hypercube d=4"]; row.Kappa != 4 || row.ClassicalF != 1 || row.IterativeF != 0 {
+		t.Errorf("hypercube d=4 row = %+v", row)
+	}
+	// chord(7,2): κ = 5 → classical f = 2, but the condition gives less.
+	if row := byName["chord(7,2)"]; row.Kappa != 5 || row.ClassicalF != 2 || row.IterativeF >= 2 {
+		t.Errorf("chord(7,2) row = %+v", row)
+	}
+	// core(7,2) and K7: no gap.
+	if row := byName["core(7,2)"]; row.Gap != 0 || row.IterativeF != 2 {
+		t.Errorf("core(7,2) row = %+v", row)
+	}
+	if row := byName["K7"]; row.Kappa != 6 || row.IterativeF != 2 {
+		t.Errorf("K7 row = %+v", row)
+	}
+	checkReport(t, r)
+}
+
+func TestE15Delayed(t *testing.T) {
+	r, err := E15Delayed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("staleness sweep failed: %+v", r)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	// B = 1 is the synchronous baseline: slowdown exactly 1.
+	if r.Rows[0].B != 1 || r.Rows[0].SlowdownVsSync != 1 {
+		t.Errorf("baseline row = %+v", r.Rows[0])
+	}
+	// Deep staleness must cost something.
+	last := r.Rows[len(r.Rows)-1]
+	if last.SlowdownVsSync < 1.5 {
+		t.Errorf("B=%d slowdown %v suspiciously small", last.B, last.SlowdownVsSync)
+	}
+	checkReport(t, r)
+}
+
+func TestE14ReducedCrossCheck(t *testing.T) {
+	r, err := E14ReducedCrossCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("cross-check failed: %+v", r)
+	}
+	if r.GraphsCompared != 120 {
+		t.Errorf("compared %d graphs, want 120", r.GraphsCompared)
+	}
+	if r.SatisfiedCount == 0 || r.SatisfiedCount == r.GraphsCompared {
+		t.Errorf("degenerate satisfied count %d of %d", r.SatisfiedCount, r.GraphsCompared)
+	}
+	checkReport(t, r)
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"iabc/internal/adversary"
+	"iabc/internal/condition"
+	"iabc/internal/core"
+	"iabc/internal/nodeset"
+	"iabc/internal/sim"
+	"iabc/internal/topology"
+)
+
+// E1Result reproduces Theorem 1's necessity construction (Fig. 1): on a
+// graph violating the condition, the proof's adversary freezes L at m and R
+// at M forever, so consensus is impossible.
+type E1Result struct {
+	// GraphName, N, F describe the violating instance (the paper's
+	// Chord(7,2) counterexample).
+	GraphName string
+	N, F      int
+	// Witness is the violating partition found by the exact checker.
+	Witness *condition.Witness
+	// Rounds is how long the attack was run.
+	Rounds int
+	// LValue and RValue are the (constant) states of L and R nodes at the
+	// end; Frozen is whether they never moved off m and M.
+	LValue, RValue float64
+	Frozen         bool
+	// FinalRange is U − µ after Rounds iterations (should equal M − m).
+	FinalRange float64
+}
+
+// Title implements Report.
+func (*E1Result) Title() string {
+	return "E1 — Theorem 1 necessity (Fig. 1): partition attack freezes a violating graph"
+}
+
+// Table implements Report.
+func (r *E1Result) Table() string {
+	return table(
+		[]string{"graph", "n", "f", "witness", "rounds", "L stuck at", "R stuck at", "range", "frozen"},
+		[][]string{{
+			r.GraphName,
+			fmt.Sprint(r.N), fmt.Sprint(r.F),
+			r.Witness.String(),
+			fmt.Sprint(r.Rounds),
+			fmt.Sprintf("%g", r.LValue), fmt.Sprintf("%g", r.RValue),
+			fmt.Sprintf("%g", r.FinalRange),
+			yes(r.Frozen),
+		}},
+	)
+}
+
+// E1Theorem1Attack runs the construction: find a violating partition of
+// Chord(7,2) with the exact checker, seed L with m = 0 and R with M = 1,
+// make F Byzantine with the proof's split-value strategy, and verify that
+// after 500 iterations every L node still holds exactly m and every R node
+// exactly M.
+func E1Theorem1Attack() (*E1Result, error) {
+	const (
+		n, f   = 7, 2
+		m, M   = 0.0, 1.0
+		rounds = 500
+	)
+	g, err := topology.Chord(n, f)
+	if err != nil {
+		return nil, err
+	}
+	res, err := condition.Check(g, f)
+	if err != nil {
+		return nil, err
+	}
+	if res.Satisfied {
+		return nil, fmt.Errorf("experiments: Chord(%d,%d) unexpectedly satisfies Theorem 1", n, f)
+	}
+	w := res.Witness
+	if err := w.Verify(g, f, condition.SyncThreshold(f)); err != nil {
+		return nil, fmt.Errorf("experiments: witness failed verification: %w", err)
+	}
+
+	initial := make([]float64, n)
+	w.L.ForEach(func(i int) bool { initial[i] = m; return true })
+	w.R.ForEach(func(i int) bool { initial[i] = M; return true })
+	w.C.ForEach(func(i int) bool { initial[i] = (m + M) / 2; return true })
+
+	tr, err := sim.Sequential{}.Run(sim.Config{
+		G: g, F: f, Faulty: w.F.Clone(), Initial: initial,
+		Rule: core.TrimmedMean{},
+		Adversary: adversary.PartitionAttack{
+			L: w.L, R: w.R, Low: m, High: M, Eps: 0.5,
+		},
+		MaxRounds: rounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	frozen := true
+	w.L.ForEach(func(i int) bool {
+		if math.Abs(tr.Final[i]-m) > 0 {
+			frozen = false
+		}
+		return true
+	})
+	w.R.ForEach(func(i int) bool {
+		if math.Abs(tr.Final[i]-M) > 0 {
+			frozen = false
+		}
+		return true
+	})
+	return &E1Result{
+		GraphName:  fmt.Sprintf("chord(n=%d,f=%d)", n, f),
+		N:          n,
+		F:          f,
+		Witness:    w,
+		Rounds:     tr.Rounds,
+		LValue:     m,
+		RValue:     M,
+		Frozen:     frozen,
+		FinalRange: tr.FinalRange(),
+	}, nil
+}
+
+// faultySetOfSize returns {0, ..., k-1} as a fault set over n nodes —
+// shared by several experiments that place faults in the "hardest" spots
+// (core members).
+func faultySetOfSize(n, k int) nodeset.Set {
+	s := nodeset.New(n)
+	for i := 0; i < k; i++ {
+		s.Add(i)
+	}
+	return s
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1Theorem1Attack(t *testing.T) {
+	r, err := E1Theorem1Attack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Frozen {
+		t.Error("partition attack should freeze L and R exactly")
+	}
+	if r.FinalRange != 1.0 {
+		t.Errorf("final range = %v, want 1 (frozen at m=0, M=1)", r.FinalRange)
+	}
+	if r.Rounds != 500 {
+		t.Errorf("rounds = %d, want 500 (no convergence stop)", r.Rounds)
+	}
+	if r.Witness == nil {
+		t.Fatal("no witness returned")
+	}
+	checkReport(t, r)
+}
+
+func TestE2Corollary2(t *testing.T) {
+	r, err := E2Corollary2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("corollary 2 sweep failed: %+v", r)
+	}
+	if r.GraphsExhausted != 4+64 {
+		t.Errorf("exhausted %d graphs, want 68", r.GraphsExhausted)
+	}
+	if len(r.Boundary) != 8 {
+		t.Errorf("boundary rows = %d, want 8", len(r.Boundary))
+	}
+	checkReport(t, r)
+}
+
+func TestE3Corollary3(t *testing.T) {
+	r, err := E3Corollary3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("corollary 3 sweep failed: %+v", r)
+	}
+	if len(r.Rows) != 6 {
+		t.Errorf("rows = %d, want 6", len(r.Rows))
+	}
+	checkReport(t, r)
+}
+
+func TestE4Hypercube(t *testing.T) {
+	r, err := E4Hypercube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("hypercube sweep failed: %+v", r)
+	}
+	// d = 2..4 exact-checked; d ≥ 5 relies on the (polynomial) witness
+	// verification, which is the paper's own Section 6.2 argument.
+	for _, row := range r.Rows {
+		wantExact := row.N <= 16
+		if row.ExactChecked != wantExact {
+			t.Errorf("d=%d: exactChecked=%v, want %v", row.D, row.ExactChecked, wantExact)
+		}
+	}
+	if r.AttackRange != 1.0 {
+		t.Errorf("3-cube stall range = %v, want exactly 1", r.AttackRange)
+	}
+	checkReport(t, r)
+}
+
+func TestE5CoreNetwork(t *testing.T) {
+	r, err := E5CoreNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("core network sweep failed: %+v", r)
+	}
+	for _, row := range r.Rows {
+		if row.BoundRounds <= 0 {
+			t.Errorf("n=%d f=%d: missing worst-case bound", row.N, row.F)
+		}
+		if row.Rounds <= 0 {
+			t.Errorf("n=%d f=%d: zero rounds", row.N, row.F)
+		}
+	}
+	checkReport(t, r)
+}
+
+func TestE6Chord(t *testing.T) {
+	r, err := E6Chord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("chord sweep failed: %+v", r)
+	}
+	if !r.PaperWitnessOK {
+		t.Error("paper's chord(7,2) witness should verify")
+	}
+	checkReport(t, r)
+}
+
+func TestE7ConvergenceRate(t *testing.T) {
+	r, err := E7ConvergenceRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("rate sweep failed: %+v", r)
+	}
+	for _, row := range r.Rows {
+		if row.PerRoundRate <= 0 || row.PerRoundRate >= 1 {
+			t.Errorf("n=%d f=%d: implausible per-round rate %v", row.N, row.F, row.PerRoundRate)
+		}
+	}
+	checkReport(t, r)
+}
+
+func TestE8Async(t *testing.T) {
+	r, err := E8Async()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("async sweep failed: %+v", r)
+	}
+	checkReport(t, r)
+}
+
+func TestE9RuleAblation(t *testing.T) {
+	r, err := E9RuleAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("ablation failed: %+v", r)
+	}
+	// Mean's final max should be dragged far beyond the honest hull [0, 6].
+	for _, row := range r.Rows {
+		if row.Rule == "mean" && row.FinalMax < 100 {
+			t.Errorf("mean final max %v, expected the liar to drag it toward 1000", row.FinalMax)
+		}
+	}
+	checkReport(t, r)
+}
+
+func TestE10Scaling(t *testing.T) {
+	r, err := E10Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("scaling failed: %+v", r)
+	}
+	// Checker work must grow with n within the f=2 family.
+	var prev int64
+	for _, c := range r.Checker {
+		if c.F != 2 || c.N == 7 {
+			continue
+		}
+		if c.Candidates <= prev {
+			t.Errorf("candidates did not grow: %d after %d", c.Candidates, prev)
+		}
+		prev = c.Candidates
+	}
+	checkReport(t, r)
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll re-executes every experiment")
+	}
+	var sb strings.Builder
+	if err := RunAll(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E1 —", "E2 —", "E3 —", "E4 —", "E5 —", "E6 —", "E7 —", "E8 —", "E9 —", "E10 —", "E11 —", "E12 —", "E13 —", "E14 —", "E15 —"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}
+
+// checkReport exercises the Report interface on every result.
+func checkReport(t *testing.T, r Report) {
+	t.Helper()
+	if r.Title() == "" {
+		t.Error("empty title")
+	}
+	tab := r.Table()
+	if len(strings.Split(strings.TrimSpace(tab), "\n")) < 2 {
+		t.Errorf("table too small:\n%s", tab)
+	}
+}

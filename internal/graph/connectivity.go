@@ -1,0 +1,119 @@
+package graph
+
+// Vertex connectivity via Menger's theorem and unit-capacity max-flow with
+// node splitting. The paper contrasts its tight condition against classical
+// connectivity bounds (connectivity > 2f suffices for non-iterative
+// algorithms [12], yet is not sufficient for the iterative family —
+// Sections 6.2 and 6.3); VertexConnectivity lets experiments put numbers on
+// that gap.
+
+// VertexConnectivity returns κ(G): the minimum number of nodes whose
+// removal disconnects some ordered pair (makes t unreachable from s), or
+// n−1 for complete graphs. By Menger's theorem κ(s,t) for non-adjacent
+// (s,t) equals the maximum number of internally node-disjoint s→t paths,
+// computed here as max-flow on the split graph (each node v becomes
+// v_in → v_out with capacity 1; each edge u→v becomes u_out → v_in).
+//
+// Cost: O(n) max-flow computations of O(κ·E) each — fine for the sizes the
+// exact condition checker handles anyway.
+func (g *Graph) VertexConnectivity() int {
+	n := g.n
+	if n < 2 {
+		return 0
+	}
+	complete := true
+	for i := 0; i < n && complete; i++ {
+		if g.OutDegree(i) != n-1 {
+			complete = false
+		}
+	}
+	if complete {
+		return n - 1
+	}
+	best := n - 1
+	// κ(G) = min over s of min over non-adjacent t of κ(s, t); a standard
+	// refinement checks one fixed s against all t plus all t against s,
+	// because a minimum separator avoids at least one node. Scanning all
+	// ordered pairs keeps the code obviously correct at O(n²) flows — the
+	// condition checker dominates total cost in every caller.
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t || g.HasEdge(s, t) {
+				continue
+			}
+			if k := g.maxFlowNodeDisjoint(s, t, best); k < best {
+				best = k
+				if best == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return best
+}
+
+// maxFlowNodeDisjoint counts internally node-disjoint s→t paths, stopping
+// early once the count reaches limit. Split-graph max-flow with unit
+// capacities, BFS augmentation (Edmonds–Karp).
+func (g *Graph) maxFlowNodeDisjoint(s, t, limit int) int {
+	n := g.n
+	// Split node v into v_in = 2v, v_out = 2v+1.
+	const (
+		inSide  = 0
+		outSide = 1
+	)
+	id := func(v, side int) int { return 2*v + side }
+	size := 2 * n
+
+	// Residual adjacency as capacity maps: arcs have capacity 1 (node arcs
+	// and edge arcs both; unit edge arcs suffice because each endpoint's
+	// node arc already limits flow to 1).
+	res := make([]map[int]int, size)
+	for i := range res {
+		res[i] = make(map[int]int)
+	}
+	addArc := func(u, v int) {
+		res[u][v] = 1
+		if _, ok := res[v][u]; !ok {
+			res[v][u] = 0
+		}
+	}
+	for v := 0; v < n; v++ {
+		addArc(id(v, inSide), id(v, outSide))
+	}
+	g.ForEachEdge(func(from, to int) {
+		addArc(id(from, outSide), id(to, inSide))
+	})
+
+	source, sink := id(s, outSide), id(t, inSide)
+	flow := 0
+	prev := make([]int, size)
+	for flow < limit {
+		// BFS for an augmenting path.
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[source] = source
+		queue := []int{source}
+		for len(queue) > 0 && prev[sink] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v, c := range res[u] {
+				if c > 0 && prev[v] < 0 {
+					prev[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if prev[sink] < 0 {
+			break
+		}
+		for v := sink; v != source; v = prev[v] {
+			u := prev[v]
+			res[u][v]--
+			res[v][u]++
+		}
+		flow++
+	}
+	return flow
+}

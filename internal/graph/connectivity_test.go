@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func completeGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func undirectedCycle(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddUndirected(i, (i+1)%n)
+	}
+	return b.MustBuild()
+}
+
+func hypercube(d int) *Graph {
+	n := 1 << uint(d)
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for bit := 0; bit < d; bit++ {
+			j := i ^ (1 << uint(bit))
+			if i < j {
+				b.AddUndirected(i, j)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestVertexConnectivityKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"singleton", NewBuilder(1).MustBuild(), 0},
+		{"K2", completeGraph(2), 1},
+		{"K5", completeGraph(5), 4},
+		{"cycle6", undirectedCycle(6), 2},
+		{"cube3", hypercube(3), 3},
+		{"cube4", hypercube(4), 4},
+		{"path", NewBuilder(3).AddUndirected(0, 1).AddUndirected(1, 2).MustBuild(), 1},
+		{"disconnected", NewBuilder(4).AddUndirected(0, 1).AddUndirected(2, 3).MustBuild(), 0},
+		{"directed cycle", func() *Graph {
+			b := NewBuilder(4)
+			for i := 0; i < 4; i++ {
+				b.AddEdge(i, (i+1)%4)
+			}
+			return b.MustBuild()
+		}(), 1},
+		{"one-way pair", NewBuilder(2).AddEdge(0, 1).MustBuild(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.VertexConnectivity(); got != tc.want {
+				t.Fatalf("κ = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVertexConnectivityCompleteBipartite(t *testing.T) {
+	// K_{a,b} has κ = min(a, b).
+	b := NewBuilder(7)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 7; j++ {
+			b.AddUndirected(i, j)
+		}
+	}
+	if got := b.MustBuild().VertexConnectivity(); got != 3 {
+		t.Fatalf("κ(K_{3,4}) = %d, want 3", got)
+	}
+}
+
+func TestVertexConnectivityAtMostMinDegree(t *testing.T) {
+	// κ ≤ min degree — spot-check on random symmetric graphs.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(6)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) > 0 {
+					b.AddUndirected(i, j)
+				}
+			}
+		}
+		g := b.MustBuild()
+		minDeg := n
+		for i := 0; i < n; i++ {
+			if d := g.InDegree(i); d < minDeg {
+				minDeg = d
+			}
+		}
+		if k := g.VertexConnectivity(); k > minDeg {
+			t.Fatalf("κ = %d exceeds min degree %d\n%s", k, minDeg, g.EdgeListString())
+		}
+	}
+}

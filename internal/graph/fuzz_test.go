@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEdgeList hardens the interchange-format parser: any input must
+// either produce a graph that round-trips exactly, or an error — never a
+// panic or an inconsistent graph.
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add("n 3\n0 1\n1 2\n")
+	f.Add("n 1\n")
+	f.Add("# comment\nn 4\n\n0 1\n")
+	f.Add("n 0\n")
+	f.Add("n -5\n")
+	f.Add("0 1\n")
+	f.Add("n 3\n0 0\n")
+	f.Add("n 3\n0 99\n")
+	f.Add("n two\n")
+	f.Add(strings.Repeat("n 2\n", 3))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseEdgeListString(input)
+		if err != nil {
+			return
+		}
+		if g.N() < 1 {
+			t.Fatalf("parser returned graph with %d nodes and no error", g.N())
+		}
+		// Round trip must be exact.
+		back, err := ParseEdgeListString(g.EdgeListString())
+		if err != nil {
+			t.Fatalf("re-parse of emitted form failed: %v", err)
+		}
+		if !g.Equal(back) {
+			t.Fatal("edge-list round trip changed the graph")
+		}
+		// Structural invariants.
+		sumIn, sumOut := 0, 0
+		for v := 0; v < g.N(); v++ {
+			sumIn += g.InDegree(v)
+			sumOut += g.OutDegree(v)
+			if g.HasEdge(v, v) {
+				t.Fatal("self-loop survived parsing")
+			}
+		}
+		if sumIn != g.NumEdges() || sumOut != g.NumEdges() {
+			t.Fatalf("degree sums %d/%d != m = %d", sumIn, sumOut, g.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"iabc/internal/nodeset"
+)
+
+// diamond builds 0->1, 0->2, 1->3, 2->3.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder(4).AddEdge(0, 1).AddEdge(0, 2).AddEdge(1, 3).AddEdge(2, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := diamond(t)
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if got, want := g.OutNeighbors(0), []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OutNeighbors(0) = %v, want %v", got, want)
+	}
+	if got, want := g.InNeighbors(3), []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("InNeighbors(3) = %v, want %v", got, want)
+	}
+	if g.InDegree(0) != 0 || g.OutDegree(0) != 2 {
+		t.Errorf("degrees of 0 = (%d,%d), want (0,2)", g.InDegree(0), g.OutDegree(0))
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) || g.HasEdge(0, 3) {
+		t.Error("HasEdge answers wrong")
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 99) {
+		t.Error("HasEdge out of range should be false")
+	}
+	if g.MinInDegree() != 0 {
+		t.Errorf("MinInDegree = %d, want 0", g.MinInDegree())
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Graph, error)
+	}{
+		{"self-loop", func() (*Graph, error) { return NewBuilder(3).AddEdge(1, 1).Build() }},
+		{"negative from", func() (*Graph, error) { return NewBuilder(3).AddEdge(-1, 0).Build() }},
+		{"to out of range", func() (*Graph, error) { return NewBuilder(3).AddEdge(0, 3).Build() }},
+		{"zero order", func() (*Graph, error) { return NewBuilder(0).Build() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.build(); err == nil {
+				t.Fatal("expected error, got nil")
+			}
+		})
+	}
+}
+
+func TestBuilderKeepsFirstError(t *testing.T) {
+	_, err := NewBuilder(3).AddEdge(5, 5).AddEdge(0, 1).Build()
+	if err == nil || !strings.Contains(err.Error(), "(5,5)") {
+		t.Fatalf("err = %v, want mention of (5,5)", err)
+	}
+}
+
+func TestDuplicateEdgesCollapse(t *testing.T) {
+	g, err := NewBuilder(2).AddEdge(0, 1).AddEdge(0, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 0).MustBuild()
+}
+
+func TestNeighborCopiesAreDefensive(t *testing.T) {
+	g := diamond(t)
+	out := g.OutNeighbors(0)
+	out[0] = 99
+	if got := g.OutNeighbors(0)[0]; got != 1 {
+		t.Fatalf("mutating returned slice changed graph: %d", got)
+	}
+	s := g.InSet(3)
+	s.Add(0)
+	if g.InSet(3).Contains(0) {
+		t.Fatal("mutating returned set changed graph")
+	}
+}
+
+func TestCountInFrom(t *testing.T) {
+	g := diamond(t)
+	s := nodeset.FromMembers(4, 1, 2)
+	if got := g.CountInFrom(3, s); got != 2 {
+		t.Fatalf("CountInFrom(3, {1,2}) = %d, want 2", got)
+	}
+	if got := g.CountInFrom(0, s); got != 0 {
+		t.Fatalf("CountInFrom(0, {1,2}) = %d, want 0", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := diamond(t)
+	tr := g.Transpose()
+	if !tr.HasEdge(1, 0) || !tr.HasEdge(3, 1) || tr.HasEdge(0, 1) {
+		t.Fatal("transpose edges wrong")
+	}
+	if !tr.Transpose().Equal(g) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if diamond(t).IsSymmetric() {
+		t.Error("diamond is not symmetric")
+	}
+	u := NewBuilder(3).AddUndirected(0, 1).AddUndirected(1, 2).MustBuild()
+	if !u.IsSymmetric() {
+		t.Error("undirected path should be symmetric")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := diamond(t)
+	b := diamond(t)
+	if !a.Equal(b) {
+		t.Fatal("identical graphs not Equal")
+	}
+	c := NewBuilder(4).AddEdge(0, 1).AddEdge(0, 2).AddEdge(1, 3).AddEdge(3, 2).MustBuild()
+	if a.Equal(c) {
+		t.Fatal("different graphs Equal")
+	}
+	d := NewBuilder(5).MustBuild()
+	if a.Equal(d) {
+		t.Fatal("different orders Equal")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := diamond(t)
+	sub, mapping, err := g.InducedSubgraph(nodeset.FromMembers(4, 0, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 {
+		t.Fatalf("sub.N = %d, want 3", sub.N())
+	}
+	if want := []int{0, 1, 3}; !reflect.DeepEqual(mapping, want) {
+		t.Fatalf("mapping = %v, want %v", mapping, want)
+	}
+	// Edges 0->1 and 1->3 survive under new IDs 0->1, 1->2.
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.NumEdges() != 2 {
+		t.Fatalf("induced edges wrong: %s", sub.EdgeListString())
+	}
+	if _, _, err := g.InducedSubgraph(nodeset.New(4)); err == nil {
+		t.Fatal("empty induced subgraph should error")
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := diamond(t)
+	r := g.ReachableFrom(0)
+	if r.Count() != 4 {
+		t.Fatalf("ReachableFrom(0) = %v, want all", r)
+	}
+	r3 := g.ReachableFrom(3)
+	if r3.Count() != 1 || !r3.Contains(3) {
+		t.Fatalf("ReachableFrom(3) = %v, want {3}", r3)
+	}
+	if got := g.ReachableFrom(-1); !got.Empty() {
+		t.Fatalf("ReachableFrom(-1) = %v, want empty", got)
+	}
+}
+
+func TestIsStronglyConnected(t *testing.T) {
+	if diamond(t).IsStronglyConnected() {
+		t.Error("diamond is not strongly connected")
+	}
+	cyc := NewBuilder(3).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 0).MustBuild()
+	if !cyc.IsStronglyConnected() {
+		t.Error("directed cycle is strongly connected")
+	}
+}
+
+func TestStronglyConnectedComponents(t *testing.T) {
+	// Two 2-cycles joined by a one-way bridge: {0,1} -> {2,3}.
+	g := NewBuilder(4).
+		AddEdge(0, 1).AddEdge(1, 0).
+		AddEdge(2, 3).AddEdge(3, 2).
+		AddEdge(1, 2).
+		MustBuild()
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2: %v", len(comps), comps)
+	}
+	// Reverse topological order: the sink component {2,3} first.
+	if !reflect.DeepEqual(comps[0], []int{2, 3}) || !reflect.DeepEqual(comps[1], []int{0, 1}) {
+		t.Fatalf("components = %v, want [[2 3] [0 1]]", comps)
+	}
+}
+
+func TestSCCSingletons(t *testing.T) {
+	g := diamond(t)
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 4 {
+		t.Fatalf("DAG should have n singleton SCCs, got %v", comps)
+	}
+}
+
+func TestSCCLongPathNoStackOverflow(t *testing.T) {
+	const n = 200000
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	if got := len(g.StronglyConnectedComponents()); got != n {
+		t.Fatalf("got %d SCCs, want %d", got, n)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := diamond(t)
+	s := g.EdgeListString()
+	back, err := ParseEdgeListString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", s, back.EdgeListString())
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"only comments", "# hi\n\n"},
+		{"bad header", "order 4\n"},
+		{"bad edge", "n 3\n0 x\n"},
+		{"self loop", "n 3\n1 1\n"},
+		{"out of range", "n 3\n0 7\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseEdgeListString(tc.in); err == nil {
+				t.Fatalf("ParseEdgeListString(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestParseEdgeListSkipsCommentsAndBlanks(t *testing.T) {
+	g, err := ParseEdgeListString("# header\n\nn 3\n# edge below\n0 1\n\n1 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %s, want n=3 m=2", g)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	mixed := NewBuilder(3).AddUndirected(0, 1).AddEdge(1, 2).MustBuild()
+	dot := mixed.DOT("g")
+	if !strings.Contains(dot, "0 -> 1 [dir=both];") {
+		t.Errorf("symmetric pair not collapsed:\n%s", dot)
+	}
+	if strings.Contains(dot, "1 -> 0") {
+		t.Errorf("reverse of collapsed pair still present:\n%s", dot)
+	}
+	if !strings.Contains(dot, "1 -> 2;") {
+		t.Errorf("one-way edge missing:\n%s", dot)
+	}
+}
+
+func TestRandomRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Intn(3) == 0 {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+		g := b.MustBuild()
+
+		// Serialization round trip.
+		back, err := ParseEdgeListString(g.EdgeListString())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(back) {
+			t.Fatal("edge-list round trip mismatch")
+		}
+
+		// In/out consistency: (i,j) in out(i) iff i in in(j); degree sums.
+		sumIn, sumOut := 0, 0
+		for v := 0; v < n; v++ {
+			sumIn += g.InDegree(v)
+			sumOut += g.OutDegree(v)
+			for _, w := range g.OutNeighbors(v) {
+				found := false
+				for _, x := range back.InNeighbors(w) {
+					if x == v {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("edge (%d,%d) not reflected in InNeighbors", v, w)
+				}
+			}
+		}
+		if sumIn != g.NumEdges() || sumOut != g.NumEdges() {
+			t.Fatalf("degree sums %d/%d != m=%d", sumIn, sumOut, g.NumEdges())
+		}
+
+		// Transpose involution.
+		if !g.Transpose().Transpose().Equal(g) {
+			t.Fatal("transpose involution failed")
+		}
+
+		// SCC partition: components cover all nodes exactly once.
+		seen := make(map[int]bool)
+		for _, comp := range g.StronglyConnectedComponents() {
+			for _, v := range comp {
+				if seen[v] {
+					t.Fatalf("node %d in two SCCs", v)
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("SCCs cover %d of %d nodes", len(seen), n)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+// Metrics used by the topology-audit tooling and the experiment tables.
+
+// Density returns |E| / (n(n−1)), the fraction of possible directed edges
+// present. A single-node graph has density 0.
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return float64(g.edges) / float64(g.n*(g.n-1))
+}
+
+// Diameter returns the longest shortest directed path between any ordered
+// pair of nodes, or -1 if some node cannot reach another (the graph is not
+// strongly connected). Single-node graphs have diameter 0.
+func (g *Graph) Diameter() int {
+	if g.n == 1 {
+		return 0
+	}
+	diameter := 0
+	dist := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for src := 0; src < g.n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], src)
+		seen := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.out[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					if dist[w] > diameter {
+						diameter = dist[w]
+					}
+					seen++
+					queue = append(queue, w)
+				}
+			}
+		}
+		if seen != g.n {
+			return -1
+		}
+	}
+	return diameter
+}
+
+// InDegreeHistogram returns counts[d] = number of nodes with in-degree d.
+// The slice has length max in-degree + 1.
+func (g *Graph) InDegreeHistogram() []int {
+	maxDeg := 0
+	for i := 0; i < g.n; i++ {
+		if d := len(g.in[i]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for i := 0; i < g.n; i++ {
+		counts[len(g.in[i])]++
+	}
+	return counts
+}
+
+// UndirectedEdgeCount returns the number of undirected links when the graph
+// is symmetric: each mutual pair (i,j),(j,i) counts once. One-way edges
+// count as a full link too (they still cost a radio/wire), so the result is
+// the number of unordered pairs with at least one edge.
+func (g *Graph) UndirectedEdgeCount() int {
+	count := 0
+	g.ForEachEdge(func(from, to int) {
+		if from < to || !g.HasEdge(to, from) {
+			count++
+		}
+	})
+	return count
+}

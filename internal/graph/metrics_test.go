@@ -1,0 +1,72 @@
+package graph
+
+import "testing"
+
+func TestDensity(t *testing.T) {
+	g := NewBuilder(4).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).MustBuild()
+	if got, want := g.Density(), 3.0/12.0; got != want {
+		t.Errorf("Density = %v, want %v", got, want)
+	}
+	if NewBuilder(1).MustBuild().Density() != 0 {
+		t.Error("singleton density should be 0")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"singleton", NewBuilder(1).MustBuild(), 0},
+		{"directed cycle 5", func() *Graph {
+			b := NewBuilder(5)
+			for i := 0; i < 5; i++ {
+				b.AddEdge(i, (i+1)%5)
+			}
+			return b.MustBuild()
+		}(), 4},
+		{"complete 4", func() *Graph {
+			b := NewBuilder(4)
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					if i != j {
+						b.AddEdge(i, j)
+					}
+				}
+			}
+			return b.MustBuild()
+		}(), 1},
+		{"path not strong", NewBuilder(3).AddEdge(0, 1).AddEdge(1, 2).MustBuild(), -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.Diameter(); got != tc.want {
+				t.Fatalf("Diameter = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestInDegreeHistogram(t *testing.T) {
+	g := NewBuilder(4).AddEdge(0, 1).AddEdge(2, 1).AddEdge(3, 1).AddEdge(1, 2).MustBuild()
+	hist := g.InDegreeHistogram()
+	// in-degrees: node0=0, node1=3, node2=1, node3=0.
+	want := []int{2, 1, 0, 1}
+	if len(hist) != len(want) {
+		t.Fatalf("hist = %v, want %v", hist, want)
+	}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Fatalf("hist = %v, want %v", hist, want)
+		}
+	}
+}
+
+func TestUndirectedEdgeCount(t *testing.T) {
+	g := NewBuilder(3).AddUndirected(0, 1).AddEdge(1, 2).MustBuild()
+	// One mutual pair (0,1) + one one-way (1,2).
+	if got := g.UndirectedEdgeCount(); got != 2 {
+		t.Fatalf("UndirectedEdgeCount = %d, want 2", got)
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"sync"
+
+	"iabc/internal/core"
+)
+
+// Concurrent runs one goroutine per node; values travel over dedicated
+// per-edge channels of capacity one ("channel size is one or none"), and a
+// coordinator enforces the synchronous round barrier. It produces traces
+// bit-identical to Sequential — the cross-check test in engine_test.go
+// asserts this — while exercising the algorithm as genuine message passing.
+//
+// The zero value is ready to use.
+type Concurrent struct{}
+
+var _ Engine = Concurrent{}
+
+// Name implements Engine.
+func (Concurrent) Name() string { return "concurrent" }
+
+// roundOrder carries the coordinator's instruction for one round to a node
+// goroutine.
+type roundOrder struct {
+	// send maps receiver -> value for faulty senders; nil for fault-free
+	// nodes (which send their own state).
+	send map[int]float64
+}
+
+// nodeReport is what a node goroutine returns to the coordinator after
+// completing a round.
+type nodeReport struct {
+	id    int
+	state float64
+}
+
+// Run implements Engine.
+func (Concurrent) Run(cfg Config) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.G.N()
+	faultFree := cfg.faultFree()
+	faulty := cfg.faulty()
+
+	states := make([]float64, n)
+	copy(states, cfg.Initial)
+	tr := newTrace(&cfg, states, faultFree)
+
+	// One channel per directed edge, capacity 1: within a round each edge
+	// carries exactly one value, and the barrier guarantees all receives
+	// complete before the next round's sends begin.
+	edgeCh := make(map[[2]int]chan float64, cfg.G.NumEdges())
+	cfg.G.ForEachEdge(func(from, to int) {
+		edgeCh[[2]int{from, to}] = make(chan float64, 1)
+	})
+
+	orders := make([]chan roundOrder, n)
+	for i := range orders {
+		orders[i] = make(chan roundOrder, 1)
+	}
+	reports := make(chan nodeReport, n)
+	errs := make(chan error, n)
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		state := states[i]
+		isFaulty := faulty.Contains(i)
+		outs := cfg.G.OutNeighbors(i)
+		ins := cfg.G.InNeighbors(i)
+		outChans := make([]chan<- float64, len(outs))
+		for k, to := range outs {
+			outChans[k] = edgeCh[[2]int{i, to}]
+		}
+		inChans := make([]<-chan float64, len(ins))
+		for k, from := range ins {
+			inChans[k] = edgeCh[[2]int{from, i}]
+		}
+		go func() {
+			defer wg.Done()
+			recv := make([]core.ValueFrom, len(ins))
+			for order := range orders[i] {
+				// Phase 1: transmit on every outgoing edge.
+				for k, to := range outs {
+					v := state
+					if order.send != nil {
+						if ov, ok := order.send[to]; ok {
+							v = ov
+						}
+					}
+					outChans[k] <- v
+				}
+				// Phase 2: receive one value per incoming edge, in
+				// in-neighbor order (deterministic).
+				for k, from := range ins {
+					recv[k] = core.ValueFrom{From: from, Value: <-inChans[k]}
+				}
+				// Phase 3: apply the update rule (ghost update for faulty
+				// nodes too — see package adversary).
+				v, err := cfg.Rule.Update(state, recv, cfg.F)
+				switch {
+				case err == nil:
+					state = v
+				case isFaulty:
+					// Ghost update undefined: freeze the ghost state,
+					// mirroring Sequential.
+				default:
+					errs <- err
+					return
+				}
+				reports <- nodeReport{id: i, state: state}
+			}
+		}()
+	}
+
+	// Coordinator: one iteration per loop turn.
+	var runErr error
+	for round := 1; round <= cfg.MaxRounds && !tr.Converged; round++ {
+		view := roundView(&cfg, round, states, faultFree)
+		msgs := faultyMessages(&cfg, view)
+		for i := 0; i < n; i++ {
+			var order roundOrder
+			if faulty.Contains(i) && msgs != nil {
+				// Substitute ghost state for omitted receivers so every edge
+				// carries a value (matching Sequential's semantics).
+				send := make(map[int]float64, cfg.G.OutDegree(i))
+				for _, to := range cfg.G.OutNeighbors(i) {
+					if v, ok := msgs[i][to]; ok {
+						send[to] = v
+					} else {
+						send[to] = states[i]
+					}
+				}
+				order.send = send
+			}
+			orders[i] <- order
+		}
+		for done := 0; done < n; done++ {
+			select {
+			case rep := <-reports:
+				states[rep.id] = rep.state
+			case err := <-errs:
+				runErr = err
+			}
+		}
+		if runErr != nil {
+			break
+		}
+		if stop := tr.record(&cfg, round, states, faultFree); stop {
+			break
+		}
+	}
+	for i := range orders {
+		close(orders[i])
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	tr.finish(states)
+	return &tr.Trace, nil
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the trace as a CSV time series — the raw data behind
+// range-vs-round convergence figures. Columns: round, U, mu, range, and
+// (when the trace was recorded with RecordStates) one column per node.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"round", "U", "mu", "range"}
+	if t.States != nil {
+		for i := range t.States[0] {
+			header = append(header, fmt.Sprintf("node%d", i))
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for r := 0; r <= t.Rounds; r++ {
+		row := []string{
+			strconv.Itoa(r),
+			formatFloat(t.U[r]),
+			formatFloat(t.Mu[r]),
+			formatFloat(t.U[r] - t.Mu[r]),
+		}
+		if t.States != nil {
+			for _, v := range t.States[r] {
+				row = append(row, formatFloat(v))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 17, 64)
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"iabc/internal/core"
+	"iabc/internal/topology"
+)
+
+func TestWriteCSVWithStates(t *testing.T) {
+	g, err := topology.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Sequential{}.Run(Config{
+		G: g, F: 0, Initial: []float64{0, 1, 2},
+		Rule: core.TrimmedMean{}, MaxRounds: 4, RecordStates: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != tr.Rounds+2 { // header + rounds+1 rows
+		t.Fatalf("rows = %d, want %d", len(records), tr.Rounds+2)
+	}
+	wantHeader := []string{"round", "U", "mu", "range", "node0", "node1", "node2"}
+	for i, h := range wantHeader {
+		if records[0][i] != h {
+			t.Fatalf("header = %v, want %v", records[0], wantHeader)
+		}
+	}
+	// First data row reproduces the initial condition exactly.
+	u, err := strconv.ParseFloat(records[1][1], 64)
+	if err != nil || u != 2 {
+		t.Fatalf("U[0] = %q", records[1][1])
+	}
+	n2, err := strconv.ParseFloat(records[1][6], 64)
+	if err != nil || n2 != 2 {
+		t.Fatalf("node2[0] = %q", records[1][6])
+	}
+}
+
+func TestWriteCSVWithoutStates(t *testing.T) {
+	g, err := topology.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Sequential{}.Run(Config{
+		G: g, F: 0, Initial: []float64{0, 1, 2},
+		Rule: core.TrimmedMean{}, MaxRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if !strings.HasPrefix(lines[0], "round,U,mu,range") || strings.Contains(lines[0], "node0") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}

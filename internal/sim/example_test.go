@@ -1,0 +1,43 @@
+package sim_test
+
+import (
+	"fmt"
+	"log"
+
+	"iabc/internal/adversary"
+	"iabc/internal/core"
+	"iabc/internal/nodeset"
+	"iabc/internal/sim"
+	"iabc/internal/topology"
+)
+
+// Example runs Algorithm 1 on a core network with one Byzantine node lying
+// far outside the input range: the fault-free nodes agree inside their own
+// hull.
+func Example() {
+	g, err := topology.CoreNetwork(4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := sim.Sequential{}.Run(sim.Config{
+		G:         g,
+		F:         1,
+		Faulty:    nodeset.FromMembers(4, 3),
+		Initial:   []float64{10, 20, 30, 99},
+		Rule:      core.TrimmedMean{},
+		Adversary: adversary.Fixed{Value: 1000},
+		MaxRounds: 500,
+		Epsilon:   1e-6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, violated := trace.ValidityViolation(1e-9)
+	fmt.Println("converged:", trace.Converged)
+	fmt.Println("validity violated:", violated)
+	fmt.Println("agreement inside [10,30]:", trace.U[trace.Rounds] <= 30 && trace.Mu[trace.Rounds] >= 10)
+	// Output:
+	// converged: true
+	// validity violated: false
+	// agreement inside [10,30]: true
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"iabc/internal/core"
+	"iabc/internal/nodeset"
+)
+
+// Sequential is the single-goroutine reference engine. The zero value is
+// ready to use.
+type Sequential struct{}
+
+var _ Engine = Sequential{}
+
+// Name implements Engine.
+func (Sequential) Name() string { return "sequential" }
+
+// Run implements Engine.
+func (Sequential) Run(cfg Config) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.G.N()
+	faultFree := cfg.faultFree()
+
+	states := make([]float64, n)
+	copy(states, cfg.Initial)
+	next := make([]float64, n)
+
+	tr := newTrace(&cfg, states, faultFree)
+
+	// Reusable received-vector buffers, one per node, sized to in-degree.
+	recv := make([][]core.ValueFrom, n)
+	for i := 0; i < n; i++ {
+		recv[i] = make([]core.ValueFrom, cfg.G.InDegree(i))
+	}
+
+	for round := 1; round <= cfg.MaxRounds && !tr.Converged; round++ {
+		view := roundView(&cfg, round, states, faultFree)
+		msgs := faultyMessages(&cfg, view)
+
+		for i := 0; i < n; i++ {
+			buf := recv[i]
+			for k, from := range cfg.G.InNeighbors(i) {
+				buf[k] = core.ValueFrom{From: from, Value: receivedValue(from, i, states, msgs)}
+			}
+			v, err := cfg.Rule.Update(states[i], buf, cfg.F)
+			if err != nil {
+				if faultFree.Contains(i) {
+					return nil, err
+				}
+				// A faulty node's ghost update may be undefined (e.g.
+				// in-degree below 2f+1); its state is meaningless anyway,
+				// so freeze it rather than failing the run.
+				v = states[i]
+			}
+			next[i] = v
+		}
+		states, next = next, states
+
+		if done := tr.record(&cfg, round, states, faultFree); done {
+			break
+		}
+	}
+	tr.finish(states)
+	return &tr.Trace, nil
+}
+
+// tracer accumulates a Trace incrementally; shared by both engines.
+type tracer struct {
+	Trace
+	epsilon float64
+}
+
+func newTrace(cfg *Config, initial []float64, faultFree nodeset.Set) *tracer {
+	lo, hi := faultFreeRange(initial, faultFree)
+	t := &tracer{epsilon: cfg.Epsilon}
+	t.U = append(t.U, hi)
+	t.Mu = append(t.Mu, lo)
+	t.FaultFree = faultFree.Clone()
+	t.RuleName, t.AdversaryName = names(cfg)
+	if cfg.RecordStates {
+		t.States = append(t.States, snapshot(initial))
+	}
+	if t.epsilon > 0 && hi-lo <= t.epsilon {
+		t.Converged = true // already in agreement at round 0
+	}
+	return t
+}
+
+// record appends round results; returns true when the epsilon stop fires.
+func (t *tracer) record(cfg *Config, round int, states []float64, faultFree nodeset.Set) bool {
+	lo, hi := faultFreeRange(states, faultFree)
+	t.U = append(t.U, hi)
+	t.Mu = append(t.Mu, lo)
+	t.Rounds = round
+	if cfg.RecordStates {
+		t.States = append(t.States, snapshot(states))
+	}
+	if t.epsilon > 0 && hi-lo <= t.epsilon {
+		t.Converged = true
+		return true
+	}
+	return false
+}
+
+func (t *tracer) finish(states []float64) {
+	t.Final = snapshot(states)
+}
+
+func snapshot(states []float64) []float64 {
+	out := make([]float64, len(states))
+	copy(out, states)
+	return out
+}

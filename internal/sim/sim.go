@@ -1,0 +1,228 @@
+// Package sim executes the synchronous iterative algorithm of Section 2.3 on
+// a directed graph: in every iteration each node transmits its state on all
+// outgoing edges, receives one value per incoming edge, and applies its
+// update rule Z_i. Faulty nodes' transmissions are overridden by an
+// adversary.Strategy.
+//
+// Two engines share one semantics:
+//
+//   - Sequential: a single-goroutine reference implementation, fast and
+//     allocation-light — used by benchmarks and exhaustive tests.
+//   - Concurrent: one goroutine per node exchanging values over per-edge
+//     channels with a coordinator barrier — demonstrating that the algorithm
+//     maps onto real message passing.
+//
+// Both are deterministic given identical configs and produce bit-identical
+// traces; a cross-check test enforces this.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"iabc/internal/adversary"
+	"iabc/internal/core"
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// G is the communication graph.
+	G *graph.Graph
+	// F is the algorithm's fault-tolerance parameter f (how many faults the
+	// update rule trims against).
+	F int
+	// Faulty is the actual fault set. It may be empty, and may have fewer
+	// than F members; validity/convergence guarantees require |Faulty| ≤ F.
+	Faulty nodeset.Set
+	// Initial holds v_i[0] for every node, length G.N(). Entries of faulty
+	// nodes seed their ghost state.
+	Initial []float64
+	// Rule is the transition function Z_i, shared by all nodes.
+	Rule core.UpdateRule
+	// Adversary decides faulty transmissions. It may be nil iff Faulty is
+	// empty (or when faulty nodes should behave correctly, use
+	// adversary.Conforming explicitly for clarity).
+	Adversary adversary.Strategy
+	// MaxRounds caps the number of iterations. Must be ≥ 1.
+	MaxRounds int
+	// Epsilon, when > 0, stops the run once U[t] − µ[t] ≤ Epsilon over
+	// fault-free nodes.
+	Epsilon float64
+	// RecordStates retains the full per-round state matrix in the trace
+	// (memory: (MaxRounds+1) × n floats). U[t] and µ[t] are always recorded.
+	RecordStates bool
+}
+
+// Validate checks the configuration and returns a descriptive error for the
+// first problem found.
+func (c *Config) Validate() error {
+	if c.G == nil {
+		return errors.New("sim: nil graph")
+	}
+	n := c.G.N()
+	if len(c.Initial) != n {
+		return fmt.Errorf("sim: len(Initial) = %d, want n = %d", len(c.Initial), n)
+	}
+	if c.Rule == nil {
+		return errors.New("sim: nil update rule")
+	}
+	if c.F < 0 {
+		return fmt.Errorf("sim: negative F %d", c.F)
+	}
+	if c.MaxRounds < 1 {
+		return fmt.Errorf("sim: MaxRounds must be ≥ 1, got %d", c.MaxRounds)
+	}
+	if c.Faulty.Cap() != 0 && c.Faulty.Cap() != n {
+		return fmt.Errorf("sim: Faulty set capacity %d does not match n = %d", c.Faulty.Cap(), n)
+	}
+	if !c.faulty().Empty() && c.Adversary == nil {
+		return errors.New("sim: faulty nodes configured but Adversary is nil (use adversary.Conforming for correct behavior)")
+	}
+	if c.faulty().Count() == n {
+		return errors.New("sim: all nodes faulty — no fault-free node to track")
+	}
+	var err error
+	c.faultFree().ForEach(func(i int) bool {
+		if e := c.Rule.Validate(c.G.InDegree(i), c.F); e != nil {
+			err = fmt.Errorf("sim: node %d: %w", i, e)
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// faulty returns the fault set, normalizing a zero-value Set.
+func (c *Config) faulty() nodeset.Set {
+	if c.Faulty.Cap() == 0 {
+		return nodeset.New(c.G.N())
+	}
+	return c.Faulty
+}
+
+// faultFree returns V − Faulty.
+func (c *Config) faultFree() nodeset.Set {
+	return c.faulty().Complement()
+}
+
+// Trace records a run. Index 0 of U/Mu/States is the initial condition;
+// index t is the state after iteration t.
+type Trace struct {
+	// Rounds is the number of iterations executed.
+	Rounds int
+	// Converged reports whether the Epsilon stop condition fired.
+	Converged bool
+	// U[t] and Mu[t] are max and min over fault-free nodes after round t.
+	U, Mu []float64
+	// States, when recorded, is the full matrix: States[t][i] is node i's
+	// state after round t. Faulty entries are ghost states (what the node
+	// would hold had it followed the algorithm), not trustworthy values.
+	States [][]float64
+	// Final is the state vector after the last round.
+	Final []float64
+	// FaultFree is V − Faulty.
+	FaultFree nodeset.Set
+	// RuleName and AdversaryName echo the configuration for reports.
+	RuleName, AdversaryName string
+}
+
+// Range returns U[t] − µ[t].
+func (t *Trace) Range(round int) float64 { return t.U[round] - t.Mu[round] }
+
+// FinalRange returns the fault-free range after the last executed round.
+func (t *Trace) FinalRange() float64 { return t.Range(t.Rounds) }
+
+// ValidityViolation scans for a violation of the validity condition (1):
+// U[t] ≤ U[t−1] and µ[t] ≥ µ[t−1] for all t. It returns the first round at
+// which it is violated beyond tol (use a small tolerance such as 1e-9 to
+// absorb floating-point rounding in the weighted averages), or 0 and false
+// if validity holds throughout.
+func (t *Trace) ValidityViolation(tol float64) (round int, violated bool) {
+	for r := 1; r <= t.Rounds; r++ {
+		if t.U[r] > t.U[r-1]+tol || t.Mu[r] < t.Mu[r-1]-tol {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Engine runs a configured simulation to completion.
+type Engine interface {
+	// Run executes the simulation. The returned trace is independent of the
+	// config (inputs are copied).
+	Run(cfg Config) (*Trace, error)
+	// Name identifies the engine.
+	Name() string
+}
+
+// roundView builds the omniscient adversary snapshot for the coming round.
+func roundView(cfg *Config, round int, states []float64, faultFree nodeset.Set) adversary.RoundView {
+	lo, hi := faultFreeRange(states, faultFree)
+	return adversary.RoundView{
+		Round:  round,
+		G:      cfg.G,
+		F:      cfg.F,
+		Faulty: cfg.faulty(),
+		States: states,
+		Lo:     lo,
+		Hi:     hi,
+	}
+}
+
+// faultFreeRange returns (µ, U) over the fault-free entries of states.
+func faultFreeRange(states []float64, faultFree nodeset.Set) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	faultFree.ForEach(func(i int) bool {
+		if states[i] < lo {
+			lo = states[i]
+		}
+		if states[i] > hi {
+			hi = states[i]
+		}
+		return true
+	})
+	return lo, hi
+}
+
+// faultyMessages asks the adversary for every faulty node's transmissions.
+// Keys of the outer map are senders.
+func faultyMessages(cfg *Config, view adversary.RoundView) map[int]map[int]float64 {
+	if cfg.Adversary == nil {
+		return nil
+	}
+	out := make(map[int]map[int]float64)
+	cfg.faulty().ForEach(func(s int) bool {
+		out[s] = cfg.Adversary.Messages(view, s)
+		return true
+	})
+	return out
+}
+
+// receivedValue resolves what node `to` receives from in-neighbor `from`
+// this round: the sender's state if fault-free, the adversary's choice if
+// faulty, or — on omission — the sender's ghost state (a Byzantine node
+// that stays silent on a synchronous authenticated link is indistinguishable
+// from one sending its ghost value; see package adversary).
+func receivedValue(from, to int, states []float64, msgs map[int]map[int]float64) float64 {
+	m, isFaulty := msgs[from]
+	if !isFaulty {
+		return states[from]
+	}
+	if v, ok := m[to]; ok {
+		return v
+	}
+	return states[from]
+}
+
+// names extracts the rule/adversary names for the trace.
+func names(cfg *Config) (rule, adv string) {
+	rule = cfg.Rule.Name()
+	adv = "none"
+	if cfg.Adversary != nil {
+		adv = cfg.Adversary.Name()
+	}
+	return rule, adv
+}

@@ -1,0 +1,339 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComplete(t *testing.T) {
+	g, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.NumEdges() != 20 {
+		t.Fatalf("got %s, want n=5 m=20", g)
+	}
+	for i := 0; i < 5; i++ {
+		if g.InDegree(i) != 4 || g.OutDegree(i) != 4 {
+			t.Fatalf("node %d degrees (%d,%d), want (4,4)", i, g.InDegree(i), g.OutDegree(i))
+		}
+	}
+	if !g.IsSymmetric() {
+		t.Error("complete graph should be symmetric")
+	}
+	if _, err := Complete(0); err == nil {
+		t.Error("Complete(0) should error")
+	}
+}
+
+func TestCoreNetwork(t *testing.T) {
+	for _, tc := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}, {8, 1}, {13, 4}} {
+		g, err := CoreNetwork(tc.n, tc.f)
+		if err != nil {
+			t.Fatalf("CoreNetwork(%d,%d): %v", tc.n, tc.f, err)
+		}
+		k := 2*tc.f + 1
+		if g.N() != tc.n {
+			t.Fatalf("n = %d, want %d", g.N(), tc.n)
+		}
+		if !g.IsSymmetric() {
+			t.Errorf("CoreNetwork(%d,%d) not symmetric", tc.n, tc.f)
+		}
+		// Core members: linked to all other core members and all outside nodes.
+		for i := 0; i < k; i++ {
+			if got, want := g.InDegree(i), tc.n-1; got != want {
+				t.Errorf("core node %d in-degree %d, want %d", i, got, want)
+			}
+		}
+		// Peripheral members: linked to exactly the core.
+		for v := k; v < tc.n; v++ {
+			if got := g.InDegree(v); got != k {
+				t.Errorf("peripheral node %d in-degree %d, want %d", v, got, k)
+			}
+			for u := 0; u < k; u++ {
+				if !g.HasEdge(v, u) || !g.HasEdge(u, v) {
+					t.Errorf("missing core link %d<->%d", v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestCoreNetworkErrors(t *testing.T) {
+	if _, err := CoreNetwork(3, 1); err == nil {
+		t.Error("n = 3f should error")
+	}
+	if _, err := CoreNetwork(4, -1); err == nil {
+		t.Error("negative f should error")
+	}
+}
+
+func TestCoreNetworkDegenerate(t *testing.T) {
+	// f = 0: core is a single node, everyone links to it.
+	g, err := CoreNetwork(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InDegree(0) != 3 {
+		t.Fatalf("hub in-degree = %d, want 3", g.InDegree(0))
+	}
+	for v := 1; v < 4; v++ {
+		if g.InDegree(v) != 1 {
+			t.Fatalf("leaf %d in-degree = %d, want 1", v, g.InDegree(v))
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for d := 1; d <= 6; d++ {
+		g, err := Hypercube(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 1<<uint(d) {
+			t.Fatalf("d=%d: n = %d", d, g.N())
+		}
+		for i := 0; i < g.N(); i++ {
+			if g.InDegree(i) != d || g.OutDegree(i) != d {
+				t.Fatalf("d=%d node %d degree (%d,%d), want (%d,%d)", d, i, g.InDegree(i), g.OutDegree(i), d, d)
+			}
+		}
+		if !g.IsSymmetric() {
+			t.Errorf("hypercube d=%d not symmetric", d)
+		}
+		if !g.IsStronglyConnected() {
+			t.Errorf("hypercube d=%d not strongly connected", d)
+		}
+	}
+	// Adjacency is exactly single-bit difference.
+	g, err := Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 4) || g.HasEdge(0, 3) || g.HasEdge(0, 7) {
+		t.Error("hypercube adjacency wrong")
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("Hypercube(0) should error")
+	}
+	if _, err := Hypercube(21); err == nil {
+		t.Error("Hypercube(21) should error")
+	}
+}
+
+func TestChord(t *testing.T) {
+	// Definition 5: edge (i, i+k mod n) for 1 <= k <= 2f+1.
+	g, err := Chord(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 7 {
+		t.Fatalf("n = %d", g.N())
+	}
+	for i := 0; i < 7; i++ {
+		if g.OutDegree(i) != 5 || g.InDegree(i) != 5 {
+			t.Fatalf("node %d degrees (%d,%d), want (5,5)", i, g.InDegree(i), g.OutDegree(i))
+		}
+		for k := 1; k <= 5; k++ {
+			if !g.HasEdge(i, (i+k)%7) {
+				t.Fatalf("missing chord edge (%d,%d)", i, (i+k)%7)
+			}
+		}
+	}
+	// f=1, n=4 chord is the complete graph (paper, Section 6.3).
+	c4, err := Chord(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k4, err := Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c4.Equal(k4) {
+		t.Error("Chord(4,1) should be the complete graph K4")
+	}
+	if _, err := Chord(5, 2); err == nil {
+		t.Error("Chord with n <= 2f+1 should error")
+	}
+	if _, err := Chord(5, -1); err == nil {
+		t.Error("Chord with negative f should error")
+	}
+}
+
+func TestCirculant(t *testing.T) {
+	g, err := Circulant(6, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(0, 3) || g.HasEdge(0, 1) {
+		t.Error("circulant offsets wrong")
+	}
+	if _, err := Circulant(6, []int{0}); err == nil {
+		t.Error("offset 0 should error")
+	}
+	if _, err := Circulant(6, []int{6}); err == nil {
+		t.Error("offset n should error")
+	}
+}
+
+func TestRings(t *testing.T) {
+	r, err := UndirectedRing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsSymmetric() || r.NumEdges() != 10 {
+		t.Errorf("ring: symmetric=%v m=%d", r.IsSymmetric(), r.NumEdges())
+	}
+	c, err := DirectedCycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEdges() != 5 || !c.IsStronglyConnected() {
+		t.Errorf("cycle: m=%d strong=%v", c.NumEdges(), c.IsStronglyConnected())
+	}
+	if _, err := UndirectedRing(2); err == nil {
+		t.Error("ring n=2 should error")
+	}
+	if _, err := DirectedCycle(1); err == nil {
+		t.Error("cycle n=1 should error")
+	}
+}
+
+func TestWheelAndStar(t *testing.T) {
+	w, err := Wheel(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.InDegree(0) != 5 {
+		t.Errorf("wheel hub in-degree = %d, want 5", w.InDegree(0))
+	}
+	for i := 1; i < 6; i++ {
+		if w.InDegree(i) != 3 {
+			t.Errorf("wheel rim %d in-degree = %d, want 3", i, w.InDegree(i))
+		}
+	}
+	s, err := Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.InDegree(0) != 4 || s.InDegree(1) != 1 {
+		t.Error("star degrees wrong")
+	}
+	if _, err := Wheel(3); err == nil {
+		t.Error("wheel n=3 should error")
+	}
+	if _, err := Star(1); err == nil {
+		t.Error("star n=1 should error")
+	}
+}
+
+func TestGridAndTorus(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 || !g.IsSymmetric() {
+		t.Errorf("grid: n=%d symmetric=%v", g.N(), g.IsSymmetric())
+	}
+	// Corner has degree 2, center degree 4.
+	if g.InDegree(0) != 2 {
+		t.Errorf("corner degree = %d, want 2", g.InDegree(0))
+	}
+	if g.InDegree(5) != 4 {
+		t.Errorf("center degree = %d, want 4", g.InDegree(5))
+	}
+	tor, err := Torus(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tor.N(); i++ {
+		if tor.InDegree(i) != 4 {
+			t.Fatalf("torus node %d degree %d, want 4", i, tor.InDegree(i))
+		}
+	}
+	if _, err := Grid(0, 3); err == nil {
+		t.Error("grid 0 rows should error")
+	}
+	if _, err := Torus(2, 3); err == nil {
+		t.Error("torus 2 rows should error")
+	}
+}
+
+func TestRandomDigraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, err := RandomDigraph(20, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxEdges := 20 * 19
+	if g.NumEdges() == 0 || g.NumEdges() == maxEdges {
+		t.Errorf("p=0.5 digraph has degenerate edge count %d", g.NumEdges())
+	}
+	// Determinism: same seed, same graph.
+	g2, err := RandomDigraph(20, 0.5, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(g2) {
+		t.Error("same seed produced different graphs")
+	}
+	full, err := RandomDigraph(5, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumEdges() != 20 {
+		t.Errorf("p=1 should be complete, m=%d", full.NumEdges())
+	}
+	if _, err := RandomDigraph(5, 1.5, rng); err == nil {
+		t.Error("p>1 should error")
+	}
+	if _, err := RandomDigraph(5, 0.5, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+}
+
+func TestRandomInRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomInRegular(10, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if g.InDegree(i) != 4 {
+			t.Fatalf("node %d in-degree %d, want 4", i, g.InDegree(i))
+		}
+	}
+	if _, err := RandomInRegular(5, 5, rng); err == nil {
+		t.Error("d >= n should error")
+	}
+	if _, err := RandomInRegular(5, 2, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+}
+
+func TestRemoveAddEdges(t *testing.T) {
+	g, err := Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := RemoveEdges(g, [][2]int{{0, 1}, {2, 3}, {9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.HasEdge(0, 1) || removed.HasEdge(2, 3) {
+		t.Error("edges not removed")
+	}
+	if removed.NumEdges() != g.NumEdges()-2 {
+		t.Errorf("m = %d, want %d", removed.NumEdges(), g.NumEdges()-2)
+	}
+	back, err := AddEdges(removed, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Error("add after remove should restore the graph")
+	}
+	if _, err := AddEdges(removed, [][2]int{{0, 0}}); err == nil {
+		t.Error("adding a self-loop should error")
+	}
+}
