@@ -209,7 +209,9 @@ func BenchmarkE15Delayed(b *testing.B) {
 // —— Micro-benchmarks: the hot paths behind the experiments. ——
 
 // BenchmarkTrimmedMeanUpdate measures one Z_i evaluation (equation (2)) at
-// realistic in-degrees.
+// realistic in-degrees: the copy+sort reference (Update) against the
+// quickselect fast path (UpdateInto) that the engines run on. The fast path
+// is the hot one — it must stay at 0 allocs/op.
 func BenchmarkTrimmedMeanUpdate(b *testing.B) {
 	rule := core.TrimmedMean{}
 	for _, tc := range []struct{ inDeg, f int }{
@@ -224,6 +226,15 @@ func BenchmarkTrimmedMeanUpdate(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := rule.Update(0.5, received, tc.f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(benchName("indeg", tc.inDeg, "f", tc.f)+"/fast", func(b *testing.B) {
+			var scratch core.Scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rule.UpdateInto(&scratch, 0.5, received, tc.f); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -325,7 +336,7 @@ func BenchmarkEngineRound(b *testing.B) {
 	for i := range initial {
 		initial[i] = float64(i)
 	}
-	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Concurrent{}} {
+	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Concurrent{}, sim.Matrix{}} {
 		b.Run(eng.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -345,6 +356,77 @@ func BenchmarkEngineRound(b *testing.B) {
 			b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 		})
 	}
+}
+
+// BenchmarkSequentialSteadyState isolates the engine's own round loop — no
+// adversary maps, fault-free network — where the flat-buffer rewrite should
+// hold per-round allocation at (amortized) zero.
+func BenchmarkSequentialSteadyState(b *testing.B) {
+	const (
+		n      = 32
+		rounds = 100
+	)
+	g := mustCore(b, n, 3)
+	initial := make([]float64, n)
+	for i := range initial {
+		initial[i] = float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := sim.Sequential{}.Run(sim.Config{
+			G: g, F: 3, Initial: initial,
+			Rule:      core.TrimmedMean{},
+			MaxRounds: rounds,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Rounds != rounds {
+			b.Fatalf("rounds = %d", tr.Rounds)
+		}
+	}
+	b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+// BenchmarkMatrixBatch measures the amortized multi-scenario path: one
+// primary run recording the round programs, then replay over a batch of
+// initial vectors. The metric is vector-rounds per second over the batch.
+func BenchmarkMatrixBatch(b *testing.B) {
+	const (
+		n, f   = 16, 2
+		rounds = 100
+		batch  = 64
+	)
+	g := mustCore(b, n, f)
+	faulty := nodeset.FromMembers(n, 0, 1)
+	initial := make([]float64, n)
+	extras := make([][]float64, batch)
+	for x := range extras {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i + x)
+		}
+		extras[x] = v
+	}
+	for i := range initial {
+		initial[i] = float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, finals, err := sim.Matrix{}.RunBatch(sim.Config{
+			G: g, F: f, Faulty: faulty, Initial: initial,
+			Rule:      core.TrimmedMean{},
+			Adversary: adversary.Hug{High: true},
+			MaxRounds: rounds,
+		}, extras)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Rounds != rounds || len(finals) != batch {
+			b.Fatalf("rounds = %d, finals = %d", tr.Rounds, len(finals))
+		}
+	}
+	b.ReportMetric(float64(rounds)*batch*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
 }
 
 // BenchmarkAsyncRun measures the discrete-event engine end to end.

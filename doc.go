@@ -5,17 +5,61 @@
 // The implementation lives under internal/:
 //
 //   - internal/core — Algorithm 1 (the trimmed-mean update) and the
-//     UpdateRule abstraction;
+//     UpdateRule abstraction, plus the zero-allocation fast path
+//     (core.Scratch / BufferedRule.UpdateInto);
 //   - internal/condition — the tight necessary & sufficient condition of
 //     Theorem 1, propagation machinery, exact checker with witnesses;
 //   - internal/sim, internal/async — synchronous and asynchronous engines;
 //   - internal/adversary — Byzantine strategies;
 //   - internal/graph, internal/topology, internal/nodeset — substrates;
 //   - internal/analysis — α, Lemma 5 contraction bounds, rate measurement;
-//   - internal/experiments — one reproduction per paper artifact (E1–E10).
+//   - internal/experiments — one reproduction per paper artifact (E1–E15).
+//
+// # Choosing an engine
+//
+// Three synchronous engines share one semantics and produce bit-identical
+// traces (cross-checked by tests):
+//
+//   - sim.Sequential — the default. Single goroutine, flat preallocated
+//     message plane, allocation-free steady state; fastest for a single
+//     scenario and the reference the others are checked against.
+//   - sim.Concurrent — one goroutine per node with per-edge channels and a
+//     coordinator barrier. Use it to exercise the algorithm as genuine
+//     message passing (races, goroutine scheduling); ~4× slower than
+//     Sequential.
+//   - sim.Matrix — materializes every round as a row-stochastic transition
+//     (the matrix representation of arXiv:1203.1888). Run matches
+//     Sequential; RunBatch replays the recorded round structure over many
+//     initial vectors at a few flops per edge — use it for multi-scenario
+//     sensitivity sweeps where the round structure is shared. Supports the
+//     affine rules (TrimmedMean, Mean) only.
+//
+// internal/async is a different model entirely (Section 7 quorum
+// iteration under message delays), not a fourth engine for the synchronous
+// semantics.
+//
+// # Fast-path invariants
+//
+// The hot loops rely on, and the test suite enforces, these invariants:
+//
+//  1. Canonical summation order. An update is a_i·(own + Σ survivors),
+//     summed own-first then in received (ascending sender) order. Every
+//     path — reference Update, scratch UpdateInto, matrix row replay —
+//     produces bit-identical float64 results.
+//  2. Total trimming order. Trimming sorts by (value, sender); sender
+//     breaks ties deterministically ("breaking ties arbitrarily" in the
+//     paper). The quickselect fast path and the sort-based reference agree
+//     on the exact survivor set, NaN and ±Inf included.
+//  3. Steady-state zero allocation. core.Scratch buffers, the engines'
+//     edge-indexed message planes, and the async ring inboxes reuse their
+//     storage; per-round allocation comes only from adversary.Strategy's
+//     message maps and trace appends.
+//  4. Determinism. Given identical configs (and seeds for randomized
+//     strategies), every engine produces identical traces across runs.
 //
 // bench_test.go in this directory hosts the benchmark harness: one
-// Benchmark per experiment plus micro-benchmarks for the hot paths. See
-// README.md for a guided tour and EXPERIMENTS.md for paper-vs-measured
-// results.
+// Benchmark per experiment plus micro-benchmarks for the hot paths; `iabc
+// bench` runs the same hot paths from the CLI and records a BENCH_<date>.json
+// trajectory artifact. See README.md for a guided tour and EXPERIMENTS.md
+// for paper-vs-measured results.
 package iabc

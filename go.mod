@@ -1,0 +1,3 @@
+module iabc
+
+go 1.24

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"iabc/internal/adversary"
 	"iabc/internal/core"
@@ -182,11 +183,20 @@ func Run(cfg Config) (*Trace, error) {
 	states := make([]float64, n)
 	copy(states, cfg.Initial)
 	rounds := make([]int, n)
-	// inbox[i][round][from] = value; first arrival per (from, round) wins.
-	inbox := make([]map[int]map[int]float64, n)
-	for i := range inbox {
-		inbox[i] = make(map[int]map[int]float64)
-	}
+	// Flat ring-buffer inboxes (first arrival per (from, round) wins),
+	// allocated only for fault-free receivers — faulty receivers discard.
+	inbox := make([]*inboxRing, n)
+	maxDeg := 0
+	faultFree.ForEach(func(i int) bool {
+		inbox[i] = newInboxRing(cfg.G.InDegree(i))
+		if d := cfg.G.InDegree(i); d > maxDeg {
+			maxDeg = d
+		}
+		return true
+	})
+	recvBuf := make([]core.ValueFrom, 0, maxDeg)
+	buffered, _ := cfg.Rule.(core.BufferedRule)
+	var scratch core.Scratch
 
 	var (
 		q   eventQueue
@@ -268,40 +278,39 @@ func Run(cfg Config) (*Trace, error) {
 			if e.round < rounds[i] {
 				continue // stale
 			}
-			byFrom, ok := inbox[i][e.round]
-			if !ok {
-				byFrom = make(map[int]float64)
-				inbox[i][e.round] = byFrom
-			}
-			if _, dup := byFrom[e.from]; dup {
+			ins := cfg.G.InView(i)
+			pos := sort.SearchInts(ins, e.from)
+			if !inbox[i].put(e.round, pos, e.value) {
 				continue // duplicates (equivocating re-sends) are dropped
 			}
-			byFrom[e.from] = e.value
 
-			// Advance as many rounds as the inbox now supports.
+			// Advance as many rounds as the inbox now supports. The node
+			// moves the moment the quorum fills, so received usually holds
+			// exactly quorum[i] values; buffered later rounds can hold more
+			// (the rule tolerates that).
 			for rounds[i] < cfg.MaxRounds {
-				cur := inbox[i][rounds[i]]
-				if len(cur) < quorum[i] {
+				if inbox[i].filled(rounds[i]) < quorum[i] {
 					break
 				}
-				received := make([]core.ValueFrom, 0, len(cur))
-				for from, v := range cur {
-					received = append(received, core.ValueFrom{From: from, Value: v})
+				// Slot positions are aligned with the sorted in-neighbor
+				// list, so received comes out in ascending sender order —
+				// deterministic with no sort.
+				received := inbox[i].gather(rounds[i], ins, recvBuf[:0])
+				var v float64
+				var err error
+				if buffered != nil {
+					v, err = buffered.UpdateInto(&scratch, states[i], received, cfg.F)
+				} else {
+					v, err = cfg.Rule.Update(states[i], received, cfg.F)
 				}
-				// Map iteration order is random; restore determinism. The
-				// node advances eagerly the moment the quorum fills, so
-				// len(received) == quorum[i] (the rule tolerates more if
-				// several arrivals ever shared one timestamp).
-				sortValues(received)
-				v, err := cfg.Rule.Update(states[i], received, cfg.F)
 				if err != nil {
 					runErr = fmt.Errorf("async: node %d round %d: %w", i, rounds[i], err)
 					break
 				}
-				delete(inbox[i], rounds[i])
+				inbox[i].pop()
 				states[i] = v
 				rounds[i]++
-				for _, to := range cfg.G.OutNeighbors(i) {
+				for _, to := range cfg.G.OutView(i) {
 					send(e.at, i, to, rounds[i], states[i])
 				}
 				if recordRange(e.at) {
@@ -355,13 +364,4 @@ func faultFreeRange(states []float64, faultFree nodeset.Set) (lo, hi float64) {
 		return true
 	})
 	return lo, hi
-}
-
-// sortValues orders by (From) — senders are unique within a round batch.
-func sortValues(vals []core.ValueFrom) {
-	for i := 1; i < len(vals); i++ {
-		for j := i; j > 0 && vals[j].From < vals[j-1].From; j-- {
-			vals[j], vals[j-1] = vals[j-1], vals[j]
-		}
-	}
 }

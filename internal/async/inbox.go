@@ -1,0 +1,108 @@
+package async
+
+import "iabc/internal/core"
+
+// inboxRing buffers round-tagged arrivals for one node without per-delivery
+// map allocation. Conceptually it is inbox[round][sender] = value for rounds
+// in a sliding window [base, base+slots): each round owns a flat slot of
+// in-degree values aligned with the node's sorted in-neighbor list, plus
+// presence flags (first arrival per (sender, round) wins — equivocating
+// re-sends are dropped) and a fill count for the quorum test.
+//
+// The window advances one round at a time as the node's round counter moves
+// and grows geometrically when a sender runs far ahead of the receiver, so
+// steady-state delivery touches no allocator at all.
+type inboxRing struct {
+	deg     int
+	base    int // round number stored at ring position start
+	start   int // ring position of round base
+	slots   int
+	vals    []float64 // slots × deg
+	present []bool    // slots × deg
+	count   []int     // per slot
+}
+
+func newInboxRing(deg int) *inboxRing {
+	const initialSlots = 8
+	return &inboxRing{
+		deg:     deg,
+		slots:   initialSlots,
+		vals:    make([]float64, initialSlots*deg),
+		present: make([]bool, initialSlots*deg),
+		count:   make([]int, initialSlots),
+	}
+}
+
+// slot maps a round number in [base, base+slots) to its ring position.
+func (ib *inboxRing) slot(round int) int {
+	return (ib.start + (round - ib.base)) % ib.slots
+}
+
+// grow re-lays the ring out with at least need slots.
+func (ib *inboxRing) grow(need int) {
+	newSlots := ib.slots * 2
+	for newSlots < need {
+		newSlots *= 2
+	}
+	vals := make([]float64, newSlots*ib.deg)
+	present := make([]bool, newSlots*ib.deg)
+	count := make([]int, newSlots)
+	for r := 0; r < ib.slots; r++ {
+		old := ib.slot(ib.base + r)
+		copy(vals[r*ib.deg:(r+1)*ib.deg], ib.vals[old*ib.deg:(old+1)*ib.deg])
+		copy(present[r*ib.deg:(r+1)*ib.deg], ib.present[old*ib.deg:(old+1)*ib.deg])
+		count[r] = ib.count[old]
+	}
+	ib.vals, ib.present, ib.count = vals, present, count
+	ib.slots, ib.start = newSlots, 0
+}
+
+// put records an arrival for (round, pos) where pos is the sender's index in
+// the node's sorted in-neighbor list. It reports whether the arrival was
+// fresh (false = duplicate, dropped). round must be ≥ base.
+func (ib *inboxRing) put(round, pos int, v float64) bool {
+	if round-ib.base >= ib.slots {
+		ib.grow(round - ib.base + 1)
+	}
+	off := ib.slot(round)*ib.deg + pos
+	if ib.present[off] {
+		return false
+	}
+	ib.present[off] = true
+	ib.vals[off] = v
+	ib.count[ib.slot(round)]++
+	return true
+}
+
+// filled returns how many distinct senders have delivered for round.
+func (ib *inboxRing) filled(round int) int {
+	if round-ib.base >= ib.slots {
+		return 0
+	}
+	return ib.count[ib.slot(round)]
+}
+
+// gather appends the present values of round's slot to buf in ascending
+// sender order (positions are aligned with the sorted in-neighbor list
+// senders, so no sort is needed) and returns the extended slice.
+func (ib *inboxRing) gather(round int, senders []int, buf []core.ValueFrom) []core.ValueFrom {
+	s := ib.slot(round)
+	for k := 0; k < ib.deg; k++ {
+		if ib.present[s*ib.deg+k] {
+			buf = append(buf, core.ValueFrom{From: senders[k], Value: ib.vals[s*ib.deg+k]})
+		}
+	}
+	return buf
+}
+
+// pop clears the slot of round base and advances the window by one round.
+// Callers must have consumed the slot first.
+func (ib *inboxRing) pop() {
+	s := ib.start
+	for k := 0; k < ib.deg; k++ {
+		ib.present[s*ib.deg+k] = false
+	}
+	ib.count[s] = 0
+	ib.base++
+	ib.start = (ib.start + 1) % ib.slots
+}

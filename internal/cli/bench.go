@@ -1,0 +1,216 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"iabc/internal/adversary"
+	"iabc/internal/async"
+	"iabc/internal/condition"
+	"iabc/internal/core"
+	"iabc/internal/nodeset"
+	"iabc/internal/sim"
+	"iabc/internal/topology"
+
+	"math/rand"
+)
+
+// BenchResult is one hot-path measurement in the BENCH_<date>.json
+// trajectory artifact.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchArtifact is the file cmdBench writes. One artifact per run; the
+// dated series across PRs is the performance trajectory of the repo.
+type BenchArtifact struct {
+	Date    string        `json:"date"`
+	Go      string        `json:"go"`
+	Notes   string        `json:"notes,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+// cmdBench implements `iabc bench`: run the hot-path micro-benchmarks with
+// allocation tracking (the in-binary equivalent of `go test -bench
+// -benchmem` over the engine and checker paths) and write the JSON
+// trajectory artifact.
+func cmdBench(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("out", "", "artifact path (default BENCH_<yyyy-mm-dd>.json; - for stdout only)")
+	notes := fs.String("notes", "", "free-form note recorded in the artifact (e.g. before/after context)")
+	short := fs.Bool("short", false, "skip the slow exact-checker benchmark (CI smoke mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	art := BenchArtifact{
+		Date:  time.Now().UTC().Format(time.RFC3339),
+		Go:    runtime.Version(),
+		Notes: *notes,
+	}
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		res := BenchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
+		}
+		art.Results = append(art.Results, res)
+		fmt.Fprintf(stdout, "%-40s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	received := make([]core.ValueFrom, 15)
+	rng := rand.New(rand.NewSource(1))
+	for i := range received {
+		received[i] = core.ValueFrom{From: i, Value: rng.Float64()}
+	}
+	run("trimmed-mean/reference/indeg=15,f=3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := (core.TrimmedMean{}).Update(0.5, received, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("trimmed-mean/fast/indeg=15,f=3", func(b *testing.B) {
+		var scratch core.Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := (core.TrimmedMean{}).UpdateInto(&scratch, 0.5, received, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	const (
+		n, f, rounds = 16, 2, 100
+	)
+	g, err := topology.CoreNetwork(n, f)
+	if err != nil {
+		return err
+	}
+	initial := make([]float64, n)
+	for i := range initial {
+		initial[i] = float64(i)
+	}
+	engCfg := sim.Config{
+		G: g, F: f, Faulty: nodeset.FromMembers(n, 0, 1), Initial: initial,
+		Rule:      core.TrimmedMean{},
+		Adversary: adversary.Hug{High: true},
+		MaxRounds: rounds,
+	}
+	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Concurrent{}, sim.Matrix{}} {
+		eng := eng
+		run("engine/"+eng.Name()+"/core_n16_f2", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr, err := eng.Run(engCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tr.Rounds != rounds {
+					b.Fatalf("rounds = %d", tr.Rounds)
+				}
+			}
+			b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+	const batch = 64
+	extras := make([][]float64, batch)
+	for x := range extras {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i + x)
+		}
+		extras[x] = v
+	}
+	run("engine/matrix-batch64/core_n16_f2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := (sim.Matrix{}).RunBatch(engCfg, extras); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(rounds)*batch*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
+	})
+
+	ag, err := topology.Complete(7)
+	if err != nil {
+		return err
+	}
+	run("async/complete_n7_f1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr, err := async.Run(async.Config{
+				G: ag, F: 1, Faulty: nodeset.FromMembers(7, 6),
+				Initial: []float64{0, 1, 2, 3, 4, 5, 6}, Rule: core.TrimmedMean{},
+				Adversary: adversary.Extremes{Amplitude: 10},
+				Delays:    &async.Uniform{B: 2, Rng: rand.New(rand.NewSource(int64(i)))},
+				MaxRounds: 100, Epsilon: 1e-6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !tr.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+	})
+
+	if !*short {
+		cg, err := topology.CoreNetwork(13, 4)
+		if err != nil {
+			return err
+		}
+		run("condition/check/core_n13_f4", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := condition.Check(cg, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Satisfied {
+					b.Fatal("core(13,4) should satisfy")
+				}
+			}
+		})
+	}
+
+	path := *out
+	if path == "-" {
+		return nil
+	}
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	data, err := json.MarshalIndent(&art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,55 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchCommandWritesArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench measures for ~1s per hot path")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	code, stdout, stderr := run(t, "", "bench", "-short", "-out", path,
+		"-notes", "unit-test run")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	for _, want := range []string{"trimmed-mean/fast", "engine/sequential", "engine/matrix-batch64", "wrote "} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art BenchArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.Go == "" || art.Date == "" || len(art.Results) < 5 {
+		t.Fatalf("artifact incomplete: %+v", art)
+	}
+	if art.Notes != "unit-test run" {
+		t.Errorf("notes = %q", art.Notes)
+	}
+	for _, r := range art.Results {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Errorf("bad result row: %+v", r)
+		}
+		if r.Name == "trimmed-mean/fast/indeg=15,f=3" && r.AllocsPerOp != 0 {
+			t.Errorf("fast path allocates: %+v", r)
+		}
+	}
+}
+
+func TestBenchCommandBadFlag(t *testing.T) {
+	code, _, _ := run(t, "", "bench", "-no-such-flag")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+}

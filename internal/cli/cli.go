@@ -27,6 +27,7 @@ Commands:
   sweep        family sweep (rounds-to-ε vs n) as CSV
   topo         emit the topology (edge list or DOT)
   experiments  regenerate every paper experiment table (E1–E15)
+  bench        run the hot-path micro-benchmarks, write BENCH_<date>.json
   help         this text
 
 Run 'iabc <command> -h' for command flags. Topology specs:
@@ -58,6 +59,8 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdTopo(rest, stdin, stdout)
 	case "experiments":
 		err = experiments.RunAll(stdout)
+	case "bench":
+		err = cmdBench(rest, stdout)
 	case "help", "-h", "--help":
 		fmt.Fprint(stdout, usage)
 		return 0
@@ -159,6 +162,20 @@ func adversaryByName(name string, seed int64) (adversary.Strategy, error) {
 	}
 }
 
+// engineByName resolves the -engine flag shared by run and sweep.
+func engineByName(name string) (sim.Engine, error) {
+	switch name {
+	case "sequential":
+		return sim.Sequential{}, nil
+	case "concurrent":
+		return sim.Concurrent{}, nil
+	case "matrix":
+		return sim.Matrix{}, nil
+	default:
+		return nil, fmt.Errorf("cli: unknown engine %q (sequential|concurrent|matrix)", name)
+	}
+}
+
 func cmdRun(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	topoSpec := fs.String("topo", "", "topology spec (required)")
@@ -167,7 +184,7 @@ func cmdRun(args []string, stdin io.Reader, stdout io.Writer) error {
 	advName := fs.String("adversary", "extremes", "byzantine strategy")
 	rounds := fs.Int("rounds", 10000, "maximum iterations")
 	eps := fs.Float64("eps", 1e-6, "convergence threshold on U−µ (0 = run all rounds)")
-	engineName := fs.String("engine", "sequential", "sequential|concurrent")
+	engineName := fs.String("engine", "sequential", "sequential|concurrent|matrix")
 	seed := fs.Int64("seed", 1, "seed for randomized pieces")
 	every := fs.Int("trace-every", 0, "print U, µ every k rounds (0 = summary only)")
 	csvPath := fs.String("csv", "", "write the round-by-round trace as CSV to this file")
@@ -194,14 +211,9 @@ func cmdRun(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var engine sim.Engine
-	switch *engineName {
-	case "sequential":
-		engine = sim.Sequential{}
-	case "concurrent":
-		engine = sim.Concurrent{}
-	default:
-		return fmt.Errorf("cli: unknown engine %q", *engineName)
+	engine, err := engineByName(*engineName)
+	if err != nil {
+		return err
 	}
 	initial := make([]float64, n)
 	rng := rand.New(rand.NewSource(*seed))

@@ -5,6 +5,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"strconv"
 
 	"iabc/internal/condition"
@@ -52,6 +54,11 @@ func cmdRepair(args []string, stdin io.Reader, stdout io.Writer) error {
 // cmdSweep implements `iabc sweep`: for a topology family and a range of n,
 // report condition verdict, α, and rounds-to-ε under a chosen adversary as
 // CSV — the raw series behind convergence-vs-size figures.
+//
+// With -scenarios K > 0 the sweep additionally replays each point's
+// recorded round structure (sim.Matrix.RunBatch) over K perturbed initial
+// vectors — a sensitivity column at amortized per-round cost instead of K
+// full re-simulations.
 func cmdSweep(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	family := fs.String("family", "core", "core|chord|complete|circulant")
@@ -62,8 +69,30 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	advName := fs.String("adversary", "extremes", "byzantine strategy")
 	rounds := fs.Int("rounds", 100000, "round cap per point")
 	seed := fs.Int64("seed", 1, "seed for randomized pieces")
+	engineName := fs.String("engine", "sequential", "sequential|concurrent|matrix")
+	scenarios := fs.Int("scenarios", 0, "batched what-if initial vectors per point (matrix engine replay)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	engine, err := engineByName(*engineName)
+	if err != nil {
+		return err
+	}
+	if *scenarios < 0 {
+		return fmt.Errorf("cli: negative scenarios %d", *scenarios)
+	}
+	if *scenarios > 0 {
+		// The scenarios column is a matrix-engine replay; an explicitly
+		// chosen different engine would be silently ignored, so reject it.
+		engineSet := false
+		fs.Visit(func(fl *flag.Flag) {
+			if fl.Name == "engine" {
+				engineSet = true
+			}
+		})
+		if engineSet && *engineName != "matrix" {
+			return fmt.Errorf("cli: -scenarios uses the matrix engine's batched replay; drop -engine %s or use -engine matrix", *engineName)
+		}
 	}
 
 	var build func(n int) (*graph.Graph, error)
@@ -97,7 +126,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		return err
 	}
 	cw := csv.NewWriter(stdout)
-	if err := cw.Write([]string{"family", "n", "f", "satisfied", "rounds_to_eps", "converged"}); err != nil {
+	if err := cw.Write([]string{"family", "n", "f", "satisfied", "rounds_to_eps", "converged", "scenario_final_range_max"}); err != nil {
 		return err
 	}
 	for n := *from; n <= *to; n++ {
@@ -110,18 +139,47 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		row := []string{*family, strconv.Itoa(n), strconv.Itoa(*f), strconv.FormatBool(chk.Satisfied), "", ""}
+		row := []string{*family, strconv.Itoa(n), strconv.Itoa(*f), strconv.FormatBool(chk.Satisfied), "", "", ""}
 		if chk.Satisfied {
-			fset := firstNodes(n, *f)
-			tr, err := sim.Sequential{}.Run(sim.Config{
-				G: g, F: *f, Faulty: fset,
+			cfg := sim.Config{
+				G: g, F: *f, Faulty: firstNodes(n, *f),
 				Initial:   workload.Bimodal(n, 0, 1),
 				Rule:      core.TrimmedMean{},
 				Adversary: strat,
 				MaxRounds: *rounds, Epsilon: *eps,
-			})
-			if err != nil {
-				return err
+			}
+			var tr *sim.Trace
+			if *scenarios > 0 {
+				extras := make([][]float64, *scenarios)
+				rng := rand.New(rand.NewSource(*seed + int64(n)))
+				for x := range extras {
+					v := workload.Bimodal(n, 0, 1)
+					for i := range v {
+						v[i] += rng.Float64() * 0.5
+					}
+					extras[x] = v
+				}
+				var finals [][]float64
+				tr, finals, err = sim.Matrix{}.RunBatch(cfg, extras)
+				if err != nil {
+					return err
+				}
+				maxRange := 0.0
+				for _, final := range finals {
+					lo, hi := math.Inf(1), math.Inf(-1)
+					tr.FaultFree.ForEach(func(i int) bool {
+						lo = math.Min(lo, final[i])
+						hi = math.Max(hi, final[i])
+						return true
+					})
+					maxRange = math.Max(maxRange, hi-lo)
+				}
+				row[6] = strconv.FormatFloat(maxRange, 'e', 3, 64)
+			} else {
+				tr, err = engine.Run(cfg)
+				if err != nil {
+					return err
+				}
 			}
 			row[4] = strconv.Itoa(tr.Rounds)
 			row[5] = strconv.FormatBool(tr.Converged)

@@ -49,7 +49,7 @@ func TestSweepCore(t *testing.T) {
 		t.Fatalf("exit = %d, stderr = %q", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if lines[0] != "family,n,f,satisfied,rounds_to_eps,converged" {
+	if lines[0] != "family,n,f,satisfied,rounds_to_eps,converged,scenario_final_range_max" {
 		t.Fatalf("header = %q", lines[0])
 	}
 	if len(lines) != 4 { // n = 4, 5, 6
@@ -59,6 +59,40 @@ func TestSweepCore(t *testing.T) {
 		if !strings.Contains(line, "true") {
 			t.Errorf("core row should satisfy and converge: %q", line)
 		}
+	}
+}
+
+func TestSweepMatrixScenarios(t *testing.T) {
+	code, stdout, stderr := run(t, "", "sweep", "-family", "core", "-f", "1", "-to", "5",
+		"-rounds", "5000", "-scenarios", "4")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 7 || cols[6] == "" {
+			t.Errorf("scenario column missing in %q", line)
+		}
+	}
+}
+
+func TestSweepEngineFlag(t *testing.T) {
+	code, stdout, stderr := run(t, "", "sweep", "-family", "core", "-f", "1", "-to", "4",
+		"-rounds", "5000", "-engine", "matrix")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "true") {
+		t.Errorf("core(4,1) should converge: %q", stdout)
+	}
+	code, _, _ = run(t, "", "sweep", "-family", "core", "-engine", "warp")
+	if code != 1 {
+		t.Error("unknown engine should fail")
+	}
+	code, _, stderr = run(t, "", "sweep", "-family", "core", "-engine", "concurrent", "-scenarios", "2")
+	if code != 1 || !strings.Contains(stderr, "matrix") {
+		t.Errorf("-scenarios with a non-matrix engine should be rejected: code=%d stderr=%q", code, stderr)
 	}
 }
 

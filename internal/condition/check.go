@@ -109,12 +109,13 @@ func CheckThreshold(g *graph.Graph, f, threshold int) (Result, error) {
 	}
 	universe := nodeset.Universe(n)
 	res := Result{Satisfied: true}
+	scratch := newInsulationScratch(g)
 
 	for fSize := 0; fSize <= f && fSize <= n; fSize++ {
 		nodeset.SubsetsAscendingSize(universe, fSize, fSize, func(fSet nodeset.Set) bool {
 			res.FaultSetsExamined++
 			ground := universe.Difference(fSet)
-			w := findDisjointInsulatedPair(g, ground, threshold, &res.CandidatesExamined)
+			w := findDisjointInsulatedPair(scratch, ground, threshold, &res.CandidatesExamined)
 			if w != nil {
 				w.F = fSet.Clone()
 				w.C = ground.Difference(w.L).Difference(w.R)
@@ -133,6 +134,11 @@ func CheckThreshold(g *graph.Graph, f, threshold int) (Result, error) {
 
 // isInsulated reports whether every node of x has at most threshold-1
 // in-neighbors in ground−x.
+//
+// Retained as the reference oracle for insulationScratch.insulated, which
+// the checker's hot path uses instead (incremental counters maintained by
+// the subset enumeration, no per-candidate set algebra); the equivalence
+// test in insulation_test.go cross-checks the two.
 func isInsulated(g *graph.Graph, ground, x nodeset.Set, threshold int) bool {
 	outside := ground.Difference(x)
 	ok := true
@@ -151,6 +157,9 @@ func isInsulated(g *graph.Graph, ground, x nodeset.Set, threshold int) bool {
 // in-neighbors in ground−S). Iterative deletion: remove any node with too
 // many in-neighbors outside the shrinking S; by union-closure of insulated
 // sets, every insulated subset of sub survives, so the fixpoint is maximal.
+//
+// Retained as the reference oracle for insulationScratch.maximalInsulated
+// (worklist peeling over cached counts), which the checker uses instead.
 func maximalInsulatedSubset(g *graph.Graph, ground, sub nodeset.Set, threshold int) nodeset.Set {
 	s := sub.Clone()
 	outside := ground.Difference(s)
@@ -177,21 +186,26 @@ func maximalInsulatedSubset(g *graph.Graph, ground, sub nodeset.Set, threshold i
 // with small L — e.g. single under-connected nodes — are found immediately)
 // and pairs each insulated L with the maximal insulated subset of the
 // complement. Returns a witness with L and R filled in, or nil.
-func findDisjointInsulatedPair(g *graph.Graph, ground nodeset.Set, threshold int, examined *int64) *Witness {
+//
+// The insulation tests run on s's cached in-degree-from-ground counts —
+// the optimization that turned the exact checker's inner loop
+// allocation-free.
+func findDisjointInsulatedPair(s *insulationScratch, ground nodeset.Set, threshold int, examined *int64) *Witness {
 	m := ground.Count()
 	if m < 2 {
 		return nil
 	}
+	s.setGround(ground)
 	var found *Witness
 	// L needs at most floor(m/2) nodes: if a disjoint pair (L, R) exists,
 	// the smaller side has ≤ m/2 nodes, and the pair is symmetric in L/R.
 	nodeset.SubsetsAscendingSize(ground, 1, m/2, func(l nodeset.Set) bool {
 		*examined++
-		if !isInsulated(g, ground, l, threshold) {
+		if !s.insulated(l, threshold) {
 			return true
 		}
 		rest := ground.Difference(l)
-		r := maximalInsulatedSubset(g, ground, rest, threshold)
+		r := s.maximalInsulated(ground, rest, threshold)
 		if !r.Empty() {
 			found = &Witness{L: l.Clone(), R: r}
 			return false

@@ -63,6 +63,7 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			scratch := newInsulationScratch(g) // per-worker: hooks mutate it
 			var localCand int64
 			defer func() { candidates.Add(localCand) }()
 			for {
@@ -78,7 +79,7 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 				examined.Add(1)
 				fSet := faultSets[i]
 				ground := universe.Difference(fSet)
-				wit := findDisjointInsulatedPair(g, ground, threshold, &localCand)
+				wit := findDisjointInsulatedPair(scratch, ground, threshold, &localCand)
 				if wit == nil {
 					continue
 				}

@@ -81,17 +81,45 @@ func (TrimmedMean) Validate(inDegree, f int) error {
 // Update implements equation (2): sort r_i[t], drop the f smallest and f
 // largest, and return a_i·(own + Σ_{j∈N*_i[t]} w_j) with
 // a_i = 1/(|r_i[t]|+1−2f).
+//
+// The summation order is canonical: own state first, then the surviving
+// values in the order they appear in received (engines build received in
+// ascending sender order). Fixing the order makes the result bit-for-bit
+// reproducible and lets the allocation-free fast path (UpdateInto) match it
+// exactly. Senders in received must be distinct, as they are for any real
+// received vector r_i[t].
 func (TrimmedMean) Update(own float64, received []ValueFrom, f int) (float64, error) {
 	survivors, err := Survivors(received, f)
 	if err != nil {
 		return 0, err
 	}
+	// Membership by binary search in the sorted survivor slice keeps this
+	// reference path independent of the selection logic the fast path uses;
+	// the cross-check tests lean on that independence.
 	a := Weight(len(received), f)
 	sum := own
-	for _, s := range survivors {
-		sum += s.Value
+	for _, r := range received {
+		if containsKey(survivors, r) {
+			sum += r.Value
+		}
 	}
 	return a * sum, nil
+}
+
+// containsKey reports whether the (value, sender) key of x appears in the
+// less()-sorted slice sorted. Equality is in the total order (not ==, which
+// NaN values would break).
+func containsKey(sorted []ValueFrom, x ValueFrom) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if less(sorted[mid], x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && !less(x, sorted[lo])
 }
 
 // Survivors returns N*_i[t] with values (step 3 of Algorithm 1): the
@@ -114,13 +142,26 @@ func Survivors(received []ValueFrom, f int) ([]ValueFrom, error) {
 	}
 	sorted := make([]ValueFrom, len(received))
 	copy(sorted, received)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Value != sorted[j].Value {
-			return sorted[i].Value < sorted[j].Value
-		}
-		return sorted[i].From < sorted[j].From
-	})
+	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
 	return sorted[f : len(sorted)-f], nil
+}
+
+// less is the total order the trimming step sorts by: ascending value, ties
+// broken by sender ID. NaN values (never produced by the engines, but
+// representable) order before every real and among themselves by sender, so
+// the order stays total and both the reference and fast paths agree on it.
+func less(a, b ValueFrom) bool {
+	aNaN, bNaN := a.Value != a.Value, b.Value != b.Value
+	switch {
+	case aNaN && bNaN:
+		return a.From < b.From
+	case aNaN || bNaN:
+		return aNaN
+	case a.Value != b.Value:
+		return a.Value < b.Value
+	default:
+		return a.From < b.From
+	}
 }
 
 // Weight returns a_i = 1/(inDegree + 1 − 2f), the equal weight of
@@ -149,7 +190,9 @@ func (Mean) Validate(inDegree, f int) error {
 }
 
 // Update averages own and all received values with equal weight
-// 1/(len(received)+1); f is ignored.
+// 1/(len(received)+1); f is ignored. The sum is multiplied by the weight
+// (rather than divided by the count) so Mean shares the exact arithmetic of
+// TrimmedMean with f = 0 and of the matrix engine's row evaluation.
 func (Mean) Update(own float64, received []ValueFrom, f int) (float64, error) {
 	if len(received) == 0 {
 		return 0, fmt.Errorf("%w: got 0 values", ErrInsufficientValues)
@@ -158,7 +201,7 @@ func (Mean) Update(own float64, received []ValueFrom, f int) (float64, error) {
 	for _, r := range received {
 		sum += r.Value
 	}
-	return sum / float64(len(received)+1), nil
+	return Weight(len(received), 0) * sum, nil
 }
 
 // TrimmedMidpoint is an ablation rule: trim exactly like Algorithm 1, then

@@ -105,16 +105,17 @@ func E10Scaling() (*E10Result, error) {
 		return nil, err
 	}
 	const rounds = 2000
-	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Concurrent{}} {
+	engCfg := sim.Config{
+		G: g, F: 2,
+		Faulty:    faultySetOfSize(16, 2),
+		Initial:   ramp(16),
+		Rule:      core.TrimmedMean{},
+		Adversary: adversary.Hug{High: true},
+		MaxRounds: rounds,
+	}
+	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Concurrent{}, sim.Matrix{}} {
 		start := time.Now()
-		tr, err := eng.Run(sim.Config{
-			G: g, F: 2,
-			Faulty:    faultySetOfSize(16, 2),
-			Initial:   ramp(16),
-			Rule:      core.TrimmedMean{},
-			Adversary: adversary.Hug{High: true},
-			MaxRounds: rounds,
-		})
+		tr, err := eng.Run(engCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -124,16 +125,39 @@ func E10Scaling() (*E10Result, error) {
 			RoundsPerSec: float64(tr.Rounds) / elapsed.Seconds(),
 		})
 	}
+	// The amortization the matrix representation buys: replaying the
+	// recorded round structure over a batch of initial vectors. Throughput
+	// is vector-rounds per second across the whole batch.
+	const batch = 32
+	extras := make([][]float64, batch)
+	for b := range extras {
+		v := ramp(16)
+		for i := range v {
+			v[i] += float64(b)
+		}
+		extras[b] = v
+	}
+	start := time.Now()
+	tr, _, err := sim.Matrix{}.RunBatch(engCfg, extras)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	res.Engines = append(res.Engines, E10EngineRow{
+		Engine: fmt.Sprintf("matrix-batch(%d)", batch), N: 16, Rounds: tr.Rounds,
+		RoundsPerSec: float64(tr.Rounds) * batch / elapsed.Seconds(),
+	})
 	return res, nil
 }
 
 // Passed reports whether all checker rows verified the expected
-// satisfiability (core networks always satisfy) and both engines completed.
+// satisfiability (core networks always satisfy) and every engine row
+// (sequential, concurrent, matrix, matrix-batch) completed.
 func (r *E10Result) Passed() bool {
 	for _, c := range r.Checker {
 		if !c.Satisfied {
 			return false
 		}
 	}
-	return len(r.Checker) > 0 && len(r.Engines) == 2
+	return len(r.Checker) > 0 && len(r.Engines) == 4
 }

@@ -137,6 +137,15 @@ func (g *Graph) OutNeighbors(i int) []int {
 	return append([]int(nil), g.out[i]...)
 }
 
+// InView returns N-_i sorted ascending, sharing the graph's internal
+// storage: callers must not modify the returned slice. The engines' round
+// loops use it to avoid the per-call copy of InNeighbors.
+func (g *Graph) InView(i int) []int { return g.in[i] }
+
+// OutView returns N+_i sorted ascending, sharing the graph's internal
+// storage: callers must not modify the returned slice.
+func (g *Graph) OutView(i int) []int { return g.out[i] }
+
 // InDegree returns |N-_i|.
 func (g *Graph) InDegree(i int) int { return len(g.in[i]) }
 

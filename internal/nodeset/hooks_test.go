@@ -1,0 +1,61 @@
+package nodeset
+
+import "testing"
+
+// TestSubsetsAscendingSizeHooked checks the incremental-callback contract:
+// onAdd/onRemove fire once per membership transition, the mirror they
+// maintain always equals the enumerated subset, and adds and removes
+// balance even when the consumer stops enumeration early.
+func TestSubsetsAscendingSizeHooked(t *testing.T) {
+	ground := FromMembers(10, 0, 2, 3, 5, 7, 9)
+	mirror := make(map[int]bool)
+	adds, removes, seen := 0, 0, 0
+	onAdd := func(id int) {
+		if mirror[id] {
+			t.Fatalf("onAdd(%d) for element already present", id)
+		}
+		mirror[id] = true
+		adds++
+	}
+	onRemove := func(id int) {
+		if !mirror[id] {
+			t.Fatalf("onRemove(%d) for element not present", id)
+		}
+		delete(mirror, id)
+		removes++
+	}
+	SubsetsAscendingSizeHooked(ground, 0, 3, onAdd, onRemove, func(s Set) bool {
+		seen++
+		if s.Count() != len(mirror) {
+			t.Fatalf("mirror size %d != subset size %d", len(mirror), s.Count())
+		}
+		s.ForEach(func(id int) bool {
+			if !mirror[id] {
+				t.Fatalf("element %d in subset but not in mirror", id)
+			}
+			return true
+		})
+		return true
+	})
+	// C(6,0)+C(6,1)+C(6,2)+C(6,3) = 1+6+15+20 = 42.
+	if seen != 42 {
+		t.Fatalf("enumerated %d subsets, want 42", seen)
+	}
+	if adds != removes {
+		t.Fatalf("unbalanced hooks: %d adds, %d removes", adds, removes)
+	}
+
+	// Early stop: the unwinding must still balance the hooks.
+	adds, removes = 0, 0
+	count := 0
+	SubsetsAscendingSizeHooked(ground, 1, 3, onAdd, onRemove, func(Set) bool {
+		count++
+		return count < 9
+	})
+	if adds != removes {
+		t.Fatalf("unbalanced hooks after early stop: %d adds, %d removes", adds, removes)
+	}
+	if len(mirror) != 0 {
+		t.Fatalf("mirror not emptied after early stop: %v", mirror)
+	}
+}

@@ -9,8 +9,13 @@ import (
 // Concurrent runs one goroutine per node; values travel over dedicated
 // per-edge channels of capacity one ("channel size is one or none"), and a
 // coordinator enforces the synchronous round barrier. It produces traces
-// bit-identical to Sequential — the cross-check test in engine_test.go
-// asserts this — while exercising the algorithm as genuine message passing.
+// bit-identical to Sequential — the cross-check test in sim_test.go asserts
+// this — while exercising the algorithm as genuine message passing.
+//
+// Channels are held in one flat slice indexed by the edgePlane's in-edge
+// index (no map of [2]int keys), faulty transmissions travel through
+// coordinator-owned flat send buffers instead of per-round maps, and the
+// fault set is materialized once per run.
 //
 // The zero value is ready to use.
 type Concurrent struct{}
@@ -19,14 +24,6 @@ var _ Engine = Concurrent{}
 
 // Name implements Engine.
 func (Concurrent) Name() string { return "concurrent" }
-
-// roundOrder carries the coordinator's instruction for one round to a node
-// goroutine.
-type roundOrder struct {
-	// send maps receiver -> value for faulty senders; nil for fault-free
-	// nodes (which send their own state).
-	send map[int]float64
-}
 
 // nodeReport is what a node goroutine returns to the coordinator after
 // completing a round.
@@ -41,24 +38,36 @@ func (Concurrent) Run(cfg Config) (*Trace, error) {
 		return nil, err
 	}
 	n := cfg.G.N()
-	faultFree := cfg.faultFree()
 	faulty := cfg.faulty()
+	faultFree := faulty.Complement()
 
-	states := make([]float64, n)
-	copy(states, cfg.Initial)
+	states := snapshot(cfg.Initial)
 	tr := newTrace(&cfg, states, faultFree)
+	p := newEdgePlane(cfg.G, faulty, false)
 
 	// One channel per directed edge, capacity 1: within a round each edge
 	// carries exactly one value, and the barrier guarantees all receives
-	// complete before the next round's sends begin.
-	edgeCh := make(map[[2]int]chan float64, cfg.G.NumEdges())
-	cfg.G.ForEachEdge(func(from, to int) {
-		edgeCh[[2]int{from, to}] = make(chan float64, 1)
-	})
+	// complete before the next round's sends begin. chans[e] is the channel
+	// of the in-edge with flat index e.
+	chans := make([]chan float64, p.inOff[n])
+	for e := range chans {
+		chans[e] = make(chan float64, 1)
+	}
 
-	orders := make([]chan roundOrder, n)
+	// sendBuf[s][k] is the value faulty sender s puts on its k-th out-edge
+	// this round. The coordinator fills it before signaling the round order
+	// (a channel send, so the write happens-before the node's read), and
+	// rewrites it only after the node's round report has been received.
+	sendBuf := make([][]float64, n)
+	for _, s := range p.faulty {
+		sendBuf[s] = make([]float64, cfg.G.OutDegree(s))
+	}
+
+	// orders[i] carries one bool per round: whether node i must transmit
+	// from sendBuf[i] (true) or its own state (false).
+	orders := make([]chan bool, n)
 	for i := range orders {
-		orders[i] = make(chan roundOrder, 1)
+		orders[i] = make(chan bool, 1)
 	}
 	reports := make(chan nodeReport, n)
 	errs := make(chan error, n)
@@ -69,38 +78,45 @@ func (Concurrent) Run(cfg Config) (*Trace, error) {
 		i := i
 		state := states[i]
 		isFaulty := faulty.Contains(i)
-		outs := cfg.G.OutNeighbors(i)
-		ins := cfg.G.InNeighbors(i)
+		outs := cfg.G.OutView(i)
+		ins := cfg.G.InView(i)
 		outChans := make([]chan<- float64, len(outs))
-		for k, to := range outs {
-			outChans[k] = edgeCh[[2]int{i, to}]
+		for k := range outs {
+			outChans[k] = chans[p.edgeOf[i][k]]
 		}
-		inChans := make([]<-chan float64, len(ins))
-		for k, from := range ins {
-			inChans[k] = edgeCh[[2]int{from, i}]
-		}
+		inChans := chans[p.inOff[i]:p.inOff[i+1]]
+		override := sendBuf[i]
 		go func() {
 			defer wg.Done()
 			recv := make([]core.ValueFrom, len(ins))
-			for order := range orders[i] {
+			for k, from := range ins {
+				recv[k].From = from
+			}
+			buffered, _ := cfg.Rule.(core.BufferedRule)
+			var scratch core.Scratch
+			for useOverride := range orders[i] {
 				// Phase 1: transmit on every outgoing edge.
-				for k, to := range outs {
+				for k := range outChans {
 					v := state
-					if order.send != nil {
-						if ov, ok := order.send[to]; ok {
-							v = ov
-						}
+					if useOverride {
+						v = override[k]
 					}
 					outChans[k] <- v
 				}
 				// Phase 2: receive one value per incoming edge, in
 				// in-neighbor order (deterministic).
-				for k, from := range ins {
-					recv[k] = core.ValueFrom{From: from, Value: <-inChans[k]}
+				for k := range inChans {
+					recv[k].Value = <-inChans[k]
 				}
 				// Phase 3: apply the update rule (ghost update for faulty
 				// nodes too — see package adversary).
-				v, err := cfg.Rule.Update(state, recv, cfg.F)
+				var v float64
+				var err error
+				if buffered != nil {
+					v, err = buffered.UpdateInto(&scratch, state, recv, cfg.F)
+				} else {
+					v, err = cfg.Rule.Update(state, recv, cfg.F)
+				}
 				switch {
 				case err == nil:
 					state = v
@@ -116,27 +132,28 @@ func (Concurrent) Run(cfg Config) (*Trace, error) {
 		}()
 	}
 
+	hasAdv := cfg.Adversary != nil && len(p.faulty) > 0
+
 	// Coordinator: one iteration per loop turn.
 	var runErr error
 	for round := 1; round <= cfg.MaxRounds && !tr.Converged; round++ {
-		view := roundView(&cfg, round, states, faultFree)
-		msgs := faultyMessages(&cfg, view)
-		for i := 0; i < n; i++ {
-			var order roundOrder
-			if faulty.Contains(i) && msgs != nil {
+		if hasAdv {
+			view := roundView(&cfg, round, states, faultFree, faulty)
+			for _, s := range p.faulty {
 				// Substitute ghost state for omitted receivers so every edge
 				// carries a value (matching Sequential's semantics).
-				send := make(map[int]float64, cfg.G.OutDegree(i))
-				for _, to := range cfg.G.OutNeighbors(i) {
-					if v, ok := msgs[i][to]; ok {
-						send[to] = v
+				msgs := cfg.Adversary.Messages(view, s)
+				for k, to := range cfg.G.OutView(s) {
+					if v, ok := msgs[to]; ok {
+						sendBuf[s][k] = v
 					} else {
-						send[to] = states[i]
+						sendBuf[s][k] = states[s]
 					}
 				}
-				order.send = send
 			}
-			orders[i] <- order
+		}
+		for i := 0; i < n; i++ {
+			orders[i] <- hasAdv && faulty.Contains(i)
 		}
 		for done := 0; done < n; done++ {
 			select {

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"iabc/internal/core"
+)
+
+// Matrix is the batched engine built on the matrix representation of
+// iterative approximate Byzantine consensus (Vaidya, arXiv:1203.1888): for a
+// fixed execution, every round of Algorithm 1 is the application of a
+// row-stochastic transition to the state vector,
+//
+//	v[t] = M[t] · v[t−1],
+//
+// where row i places weight a_i on node i itself and on each surviving
+// in-neighbor, and the Byzantine influence appears as per-round constants
+// (the values the adversary injected on surviving edges). Matrix.Run
+// materializes that transition — a roundProgram — for each round while
+// executing it, and produces traces bit-identical to Sequential: the program
+// rows replay the exact summation order of the canonical update (own state
+// first, then survivors in ascending sender order, one multiply by a_i at
+// the end).
+//
+// The payoff is RunBatch: the recorded per-round programs can be replayed
+// over many additional initial-value vectors at a few flops per edge, with
+// the round structure (trim decisions, adversary values, weights) paid for
+// once. The batch columns follow the primary execution's matrices — the
+// matrix-representation semantics, i.e. a sensitivity/what-if analysis of
+// the recorded execution, not independent simulations.
+//
+// Matrix supports the rules whose rounds are affine in the state:
+// core.TrimmedMean and core.Mean. The zero value is ready to use.
+type Matrix struct{}
+
+var _ Engine = Matrix{}
+
+// Name implements Engine.
+func (Matrix) Name() string { return "matrix" }
+
+// rowTerm is one summand of a program row, in canonical received order:
+// either a reference to a state-vector column (a fault-free or ghost value,
+// col ≥ 0) or an adversary-injected literal (col == −1).
+type rowTerm struct {
+	col int
+	val float64
+}
+
+// roundProgram is one round's row-stochastic transition. terms[i] lists the
+// surviving in-edge summands of node i; weight[i] is a_i. Frozen nodes
+// (faulty with undefined ghost update) have no terms and weight 1, so the
+// row is the identity.
+type roundProgram struct {
+	terms  [][]rowTerm
+	weight []float64
+}
+
+// apply evaluates dst = M·src with the canonical summation order.
+func (pr *roundProgram) apply(src, dst []float64) {
+	for i := range dst {
+		sum := src[i]
+		for _, t := range pr.terms[i] {
+			if t.col >= 0 {
+				sum += src[t.col]
+			} else {
+				sum += t.val
+			}
+		}
+		dst[i] = pr.weight[i] * sum
+	}
+}
+
+// Run implements Engine.
+func (Matrix) Run(cfg Config) (*Trace, error) {
+	tr, _, err := runMatrix(cfg, false)
+	return tr, err
+}
+
+// RunBatch executes cfg once (the primary run), recording each round's
+// transition program, then replays the same program sequence over every
+// extra initial vector. It returns the primary trace and, index-aligned
+// with extras, each extra vector's final state. Extra vectors must have
+// length cfg.G.N().
+//
+// Replay cost is O(rounds · edges) per extra vector with no trimming, no
+// sorting, and no adversary calls — the amortization that makes wide
+// multi-scenario sweeps cheap. The recording itself retains every executed
+// round's program, O(rounds · edges) memory for the primary run: cap
+// MaxRounds (or rely on the Epsilon stop) accordingly on large graphs.
+func (Matrix) RunBatch(cfg Config, extras [][]float64) (*Trace, [][]float64, error) {
+	if cfg.G == nil {
+		return nil, nil, errors.New("sim: nil graph")
+	}
+	n := cfg.G.N()
+	for x, init := range extras {
+		if len(init) != n {
+			return nil, nil, fmt.Errorf("sim: extra initial %d has length %d, want n = %d", x, len(init), n)
+		}
+	}
+	tr, progs, err := runMatrix(cfg, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	finals := make([][]float64, len(extras))
+	cur := make([]float64, n)
+	nxt := make([]float64, n)
+	for x, init := range extras {
+		copy(cur, init)
+		for _, pr := range progs {
+			pr.apply(cur, nxt)
+			cur, nxt = nxt, cur
+		}
+		finals[x] = snapshot(cur)
+	}
+	return tr, finals, nil
+}
+
+// runMatrix is the shared primary loop. When keep is true every round's
+// program is retained for replay; otherwise two programs are ping-ponged to
+// keep the run allocation-light.
+func runMatrix(cfg Config, keep bool) (*Trace, []*roundProgram, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var trimF int // f used for trimming; -1 marks the Mean rule
+	switch cfg.Rule.(type) {
+	case core.TrimmedMean:
+		trimF = cfg.F
+	case core.Mean:
+		trimF = -1
+	default:
+		return nil, nil, fmt.Errorf("sim: matrix engine requires an affine-representable rule (core.TrimmedMean or core.Mean), got %s", cfg.Rule.Name())
+	}
+
+	n := cfg.G.N()
+	faulty := cfg.faulty()
+	faultFree := faulty.Complement()
+
+	states := snapshot(cfg.Initial)
+	next := make([]float64, n)
+	tr := newTrace(&cfg, states, faultFree)
+	p := newEdgePlane(cfg.G, faulty, true)
+
+	recv := make([]core.ValueFrom, p.inOff[n])
+	for e, s := range p.senders {
+		recv[e].From = s
+	}
+	mask := make([]bool, p.inOff[n])
+	var scratch core.Scratch
+	hasAdv := cfg.Adversary != nil && len(p.faulty) > 0
+
+	// frozen[i]: the update is statically undefined for node i's in-degree
+	// (only possible for faulty nodes — Validate rejects it for fault-free
+	// ones); the row stays the identity, matching Sequential's freeze.
+	frozen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		frozen[i] = cfg.Rule.Validate(cfg.G.InDegree(i), cfg.F) != nil
+	}
+
+	var progs []*roundProgram
+	var spare [2]*roundProgram
+	newProgram := func(round int) *roundProgram {
+		if keep {
+			pr := &roundProgram{terms: make([][]rowTerm, n), weight: make([]float64, n)}
+			progs = append(progs, pr)
+			return pr
+		}
+		pr := spare[round%2]
+		if pr == nil {
+			pr = &roundProgram{terms: make([][]rowTerm, n), weight: make([]float64, n)}
+			spare[round%2] = pr
+		}
+		return pr
+	}
+
+	for round := 1; round <= cfg.MaxRounds && !tr.Converged; round++ {
+		p.fill(states)
+		if hasAdv {
+			p.applyAdversary(cfg.Adversary, roundView(&cfg, round, states, faultFree, faulty))
+		}
+		pr := newProgram(round)
+		for i := 0; i < n; i++ {
+			lo, hi := p.inOff[i], p.inOff[i+1]
+			if frozen[i] {
+				pr.terms[i] = pr.terms[i][:0]
+				pr.weight[i] = 1
+				continue
+			}
+			buf := recv[lo:hi]
+			for k := range buf {
+				buf[k].Value = p.values[lo+k]
+			}
+			row := mask[lo:hi]
+			if trimF >= 0 {
+				if err := scratch.SurvivorMask(buf, trimF, row); err != nil {
+					return nil, nil, fmt.Errorf("sim: node %d round %d: %w", i, round, err)
+				}
+				pr.weight[i] = core.Weight(len(buf), trimF)
+			} else {
+				for k := range row {
+					row[k] = true
+				}
+				pr.weight[i] = 1 / float64(len(buf)+1)
+			}
+			terms := pr.terms[i][:0]
+			for k := range buf {
+				if !row[k] {
+					continue
+				}
+				if p.fromState[lo+k] {
+					terms = append(terms, rowTerm{col: buf[k].From})
+				} else {
+					terms = append(terms, rowTerm{col: -1, val: buf[k].Value})
+				}
+			}
+			pr.terms[i] = terms
+		}
+
+		pr.apply(states, next)
+		states, next = next, states
+
+		if done := tr.record(&cfg, round, states, faultFree); done {
+			break
+		}
+	}
+	tr.finish(states)
+	return &tr.Trace, progs, nil
+}

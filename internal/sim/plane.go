@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"sort"
+
+	"iabc/internal/adversary"
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+)
+
+// edgePlane is the flat, edge-indexed message plane behind the engines'
+// round loops. Every directed edge (s, i) gets a stable flat index: the
+// in-edges of node i occupy the contiguous range [inOff[i], inOff[i+1]), in
+// ascending sender order. One []float64 then carries the value delivered on
+// every edge this round — no per-round maps, no per-round allocation.
+//
+// The plane is built once per run (O(m log d) for the reverse index) and
+// refilled in place every round.
+type edgePlane struct {
+	g *graph.Graph
+	n int
+	// inOff has length n+1; senders[inOff[i]:inOff[i+1]] are N-_i ascending.
+	inOff   []int
+	senders []int
+	// values[e] is the value carried by in-edge e this round.
+	values []float64
+	// fromState[e], when tracking is enabled (Matrix engine), records
+	// whether values[e] is the sender's (ghost) state rather than an
+	// adversary-injected literal.
+	fromState []bool
+	// edgeOf[s][k] is the flat index of the edge s -> OutView(s)[k]: the
+	// reverse index the adversary scatter uses.
+	edgeOf [][]int
+	// faulty lists the faulty node IDs ascending — hoisted out of the round
+	// loop so cfg.faulty() is not re-materialized per round.
+	faulty []int
+}
+
+// newEdgePlane builds the plane for one run. trackSource enables the
+// fromState plane (only the Matrix engine needs it).
+func newEdgePlane(g *graph.Graph, faulty nodeset.Set, trackSource bool) *edgePlane {
+	n := g.N()
+	p := &edgePlane{
+		g:      g,
+		n:      n,
+		inOff:  make([]int, n+1),
+		edgeOf: make([][]int, n),
+		faulty: faulty.Members(),
+	}
+	for i := 0; i < n; i++ {
+		p.inOff[i+1] = p.inOff[i] + g.InDegree(i)
+	}
+	m := p.inOff[n]
+	p.senders = make([]int, m)
+	p.values = make([]float64, m)
+	if trackSource {
+		p.fromState = make([]bool, m)
+	}
+	for i := 0; i < n; i++ {
+		copy(p.senders[p.inOff[i]:p.inOff[i+1]], g.InView(i))
+	}
+	for s := 0; s < n; s++ {
+		outs := g.OutView(s)
+		idx := make([]int, len(outs))
+		for k, to := range outs {
+			// Position of s within the sorted in-list of `to`.
+			pos := sort.SearchInts(g.InView(to), s)
+			idx[k] = p.inOff[to] + pos
+		}
+		p.edgeOf[s] = idx
+	}
+	return p
+}
+
+// fill loads the fault-free default for the round: every in-edge carries the
+// sender's (ghost) state.
+func (p *edgePlane) fill(states []float64) {
+	for e, s := range p.senders {
+		p.values[e] = states[s]
+	}
+	if p.fromState != nil {
+		for e := range p.fromState {
+			p.fromState[e] = true
+		}
+	}
+}
+
+// applyAdversary asks the strategy for each faulty sender's transmissions —
+// in ascending sender order, preserving the deterministic rng stream of
+// randomized strategies — and scatters them onto the plane. Receivers the
+// strategy omits keep the ghost default already in place, matching the
+// synchronous substitution semantics (see package adversary).
+func (p *edgePlane) applyAdversary(adv adversary.Strategy, view adversary.RoundView) {
+	for _, s := range p.faulty {
+		msgs := adv.Messages(view, s)
+		for k, to := range p.g.OutView(s) {
+			if v, ok := msgs[to]; ok {
+				e := p.edgeOf[s][k]
+				p.values[e] = v
+				if p.fromState != nil {
+					p.fromState[e] = false
+				}
+			}
+		}
+	}
+}

@@ -7,6 +7,13 @@ import (
 
 // Sequential is the single-goroutine reference engine. The zero value is
 // ready to use.
+//
+// The round loop runs allocation-free in steady state: messages live on a
+// flat edge-indexed plane (see edgePlane), received vectors are views into
+// one preallocated buffer with sender IDs written once at setup, and rules
+// implementing core.BufferedRule are driven through the zero-allocation
+// UpdateInto path. Only the adversary's per-sender message maps — part of
+// the adversary.Strategy contract — and the trace appends remain.
 type Sequential struct{}
 
 var _ Engine = Sequential{}
@@ -20,30 +27,44 @@ func (Sequential) Run(cfg Config) (*Trace, error) {
 		return nil, err
 	}
 	n := cfg.G.N()
-	faultFree := cfg.faultFree()
+	faulty := cfg.faulty()
+	faultFree := faulty.Complement()
 
-	states := make([]float64, n)
-	copy(states, cfg.Initial)
+	states := snapshot(cfg.Initial)
 	next := make([]float64, n)
 
 	tr := newTrace(&cfg, states, faultFree)
+	p := newEdgePlane(cfg.G, faulty, false)
 
-	// Reusable received-vector buffers, one per node, sized to in-degree.
-	recv := make([][]core.ValueFrom, n)
-	for i := 0; i < n; i++ {
-		recv[i] = make([]core.ValueFrom, cfg.G.InDegree(i))
+	// One flat received-vector buffer for all nodes; the From fields never
+	// change across rounds, so they are written exactly once.
+	recv := make([]core.ValueFrom, p.inOff[n])
+	for e, s := range p.senders {
+		recv[e].From = s
 	}
+	buffered, _ := cfg.Rule.(core.BufferedRule)
+	var scratch core.Scratch
+	hasAdv := cfg.Adversary != nil && len(p.faulty) > 0
 
 	for round := 1; round <= cfg.MaxRounds && !tr.Converged; round++ {
-		view := roundView(&cfg, round, states, faultFree)
-		msgs := faultyMessages(&cfg, view)
+		p.fill(states)
+		if hasAdv {
+			p.applyAdversary(cfg.Adversary, roundView(&cfg, round, states, faultFree, faulty))
+		}
 
 		for i := 0; i < n; i++ {
-			buf := recv[i]
-			for k, from := range cfg.G.InNeighbors(i) {
-				buf[k] = core.ValueFrom{From: from, Value: receivedValue(from, i, states, msgs)}
+			lo, hi := p.inOff[i], p.inOff[i+1]
+			buf := recv[lo:hi]
+			for k := range buf {
+				buf[k].Value = p.values[lo+k]
 			}
-			v, err := cfg.Rule.Update(states[i], buf, cfg.F)
+			var v float64
+			var err error
+			if buffered != nil {
+				v, err = buffered.UpdateInto(&scratch, states[i], buf, cfg.F)
+			} else {
+				v, err = cfg.Rule.Update(states[i], buf, cfg.F)
+			}
 			if err != nil {
 				if faultFree.Contains(i) {
 					return nil, err
@@ -65,7 +86,7 @@ func (Sequential) Run(cfg Config) (*Trace, error) {
 	return &tr.Trace, nil
 }
 
-// tracer accumulates a Trace incrementally; shared by both engines.
+// tracer accumulates a Trace incrementally; shared by all engines.
 type tracer struct {
 	Trace
 	epsilon float64

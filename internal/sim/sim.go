@@ -4,16 +4,20 @@
 // update rule Z_i. Faulty nodes' transmissions are overridden by an
 // adversary.Strategy.
 //
-// Two engines share one semantics:
+// Three engines share one semantics:
 //
-//   - Sequential: a single-goroutine reference implementation, fast and
-//     allocation-light — used by benchmarks and exhaustive tests.
+//   - Sequential: a single-goroutine reference implementation running on a
+//     flat edge-indexed message plane, allocation-free in steady state —
+//     used by benchmarks and exhaustive tests.
 //   - Concurrent: one goroutine per node exchanging values over per-edge
 //     channels with a coordinator barrier — demonstrating that the algorithm
 //     maps onto real message passing.
+//   - Matrix: materializes each round as a row-stochastic transition (the
+//     matrix representation of arXiv:1203.1888) and can replay the recorded
+//     round structure over batches of initial vectors (RunBatch).
 //
-// Both are deterministic given identical configs and produce bit-identical
-// traces; a cross-check test enforces this.
+// All are deterministic given identical configs and produce bit-identical
+// traces; cross-check tests enforce this.
 package sim
 
 import (
@@ -159,13 +163,15 @@ type Engine interface {
 }
 
 // roundView builds the omniscient adversary snapshot for the coming round.
-func roundView(cfg *Config, round int, states []float64, faultFree nodeset.Set) adversary.RoundView {
+// faulty is the caller's pre-materialized fault set, hoisted out of the
+// round loop so no set is rebuilt per round.
+func roundView(cfg *Config, round int, states []float64, faultFree, faulty nodeset.Set) adversary.RoundView {
 	lo, hi := faultFreeRange(states, faultFree)
 	return adversary.RoundView{
 		Round:  round,
 		G:      cfg.G,
 		F:      cfg.F,
-		Faulty: cfg.faulty(),
+		Faulty: faulty,
 		States: states,
 		Lo:     lo,
 		Hi:     hi,
@@ -185,36 +191,6 @@ func faultFreeRange(states []float64, faultFree nodeset.Set) (lo, hi float64) {
 		return true
 	})
 	return lo, hi
-}
-
-// faultyMessages asks the adversary for every faulty node's transmissions.
-// Keys of the outer map are senders.
-func faultyMessages(cfg *Config, view adversary.RoundView) map[int]map[int]float64 {
-	if cfg.Adversary == nil {
-		return nil
-	}
-	out := make(map[int]map[int]float64)
-	cfg.faulty().ForEach(func(s int) bool {
-		out[s] = cfg.Adversary.Messages(view, s)
-		return true
-	})
-	return out
-}
-
-// receivedValue resolves what node `to` receives from in-neighbor `from`
-// this round: the sender's state if fault-free, the adversary's choice if
-// faulty, or — on omission — the sender's ghost state (a Byzantine node
-// that stays silent on a synchronous authenticated link is indistinguishable
-// from one sending its ghost value; see package adversary).
-func receivedValue(from, to int, states []float64, msgs map[int]map[int]float64) float64 {
-	m, isFaulty := msgs[from]
-	if !isFaulty {
-		return states[from]
-	}
-	if v, ok := m[to]; ok {
-		return v
-	}
-	return states[from]
 }
 
 // names extracts the rule/adversary names for the trace.

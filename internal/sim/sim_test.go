@@ -62,7 +62,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func engines() []Engine {
-	return []Engine{Sequential{}, Concurrent{}}
+	return []Engine{Sequential{}, Concurrent{}, Matrix{}}
 }
 
 func TestF0ConvergenceOnStronglyConnected(t *testing.T) {
