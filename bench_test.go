@@ -323,8 +323,11 @@ func BenchmarkPropagates(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineRound compares the two engines' per-round throughput on a
-// mid-sized core network under attack.
+// BenchmarkEngineRound compares the engines' per-round throughput on a
+// mid-sized core network under attack. The plain sub-benchmarks measure a
+// whole Run per op (setup included); the -steady variants set MaxRounds to
+// b.N so one op is one round of the hot loop with setup amortized away —
+// with an EdgeWriter adversary these must report 0 allocs/op.
 func BenchmarkEngineRound(b *testing.B) {
 	const (
 		n, f   = 16, 2
@@ -336,16 +339,17 @@ func BenchmarkEngineRound(b *testing.B) {
 	for i := range initial {
 		initial[i] = float64(i)
 	}
+	cfg := sim.Config{
+		G: g, F: f, Faulty: faulty, Initial: initial,
+		Rule:      core.TrimmedMean{},
+		Adversary: adversary.Hug{High: true},
+		MaxRounds: rounds,
+	}
 	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Concurrent{}, sim.Matrix{}} {
 		b.Run(eng.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				tr, err := eng.Run(sim.Config{
-					G: g, F: f, Faulty: faulty, Initial: initial,
-					Rule:      core.TrimmedMean{},
-					Adversary: adversary.Hug{High: true},
-					MaxRounds: rounds,
-				})
+				tr, err := eng.Run(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -356,6 +360,79 @@ func BenchmarkEngineRound(b *testing.B) {
 			b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 		})
 	}
+	// Concurrent is excluded from the steady variants: its per-round cost is
+	// goroutine scheduling, not allocation, and the barrier makes single-run
+	// round counts scheduler-dependent in timing.
+	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Matrix{}} {
+		b.Run(eng.Name()+"-steady", func(b *testing.B) {
+			b.ReportAllocs()
+			steady := cfg
+			steady.MaxRounds = b.N
+			tr, err := eng.Run(steady)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tr.Rounds != b.N {
+				b.Fatalf("rounds = %d, want %d", tr.Rounds, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkRunScenarios measures engine-level scenario batching: K
+// adversary variations sharing one engine setup, against K independent
+// Sequential runs of the same configs.
+func BenchmarkRunScenarios(b *testing.B) {
+	const (
+		n, f   = 16, 2
+		rounds = 100
+	)
+	g := mustCore(b, n, f)
+	initial := make([]float64, n)
+	for i := range initial {
+		initial[i] = float64(i)
+	}
+	base := sim.Config{
+		G: g, F: f, Faulty: nodeset.FromMembers(n, 0, 1), Initial: initial,
+		Rule: core.TrimmedMean{}, MaxRounds: rounds,
+		Adversary: adversary.Hug{High: true},
+	}
+	scens := []sim.Scenario{
+		{Adversary: adversary.Hug{High: true}},
+		{Adversary: adversary.Hug{}},
+		{Adversary: adversary.Extremes{Amplitude: 50}},
+		{Adversary: adversary.Fixed{Value: 1e6}},
+		{Adversary: adversary.Fixed{Value: -1e6}},
+		{Adversary: &adversary.Insider{High: true}},
+		{Adversary: &adversary.Insider{}},
+		{Adversary: adversary.Conforming{}},
+	}
+	b.Run("batched8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			trs, err := sim.RunScenarios(base, scens)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(trs) != len(scens) {
+				b.Fatalf("traces = %d", len(trs))
+			}
+		}
+		b.ReportMetric(float64(rounds*len(scens))*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+	})
+	b.Run("separate8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, sc := range scens {
+				cfg := base
+				cfg.Adversary = sc.Adversary
+				if _, err := (sim.Sequential{}).Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(rounds*len(scens))*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+	})
 }
 
 // BenchmarkSequentialSteadyState isolates the engine's own round loop — no

@@ -30,9 +30,16 @@
 //   - sim.Matrix — materializes every round as a row-stochastic transition
 //     (the matrix representation of arXiv:1203.1888). Run matches
 //     Sequential; RunBatch replays the recorded round structure over many
-//     initial vectors at a few flops per edge — use it for multi-scenario
-//     sensitivity sweeps where the round structure is shared. Supports the
-//     affine rules (TrimmedMean, Mean) only.
+//     initial vectors in structure-of-arrays layout, a few flops per edge
+//     per vector — use it for multi-scenario sensitivity sweeps where the
+//     round structure is shared. Supports the affine rules (TrimmedMean,
+//     Mean) only.
+//
+// For sweeps that vary the adversary (or fault set) rather than the initial
+// vector — where the round structure itself changes and the matrix replay
+// does not apply — sim.RunScenarios re-simulates each scenario on the
+// sequential loop while sharing the per-graph engine setup across the
+// batch.
 //
 // internal/async is a different model entirely (Section 7 quorum
 // iteration under message delays), not a fourth engine for the synchronous
@@ -52,8 +59,12 @@
 //     on the exact survivor set, NaN and ±Inf included.
 //  3. Steady-state zero allocation. core.Scratch buffers, the engines'
 //     edge-indexed message planes, and the async ring inboxes reuse their
-//     storage; per-round allocation comes only from adversary.Strategy's
-//     message maps and trace appends.
+//     storage, and strategies implementing adversary.EdgeWriter scatter
+//     faulty values straight onto the planes — with an EdgeWriter adversary
+//     the round loop allocates nothing in steady state (enforced by
+//     TestEngineRoundLoopZeroSteadyStateAllocs and the *-steady
+//     benchmarks). Only the Messages-map fallback and trace growth beyond
+//     the preallocated window allocate.
 //  4. Determinism. Given identical configs (and seeds for randomized
 //     strategies), every engine produces identical traces across runs.
 //

@@ -49,11 +49,38 @@ type Strategy interface {
 	Messages(view RoundView, sender int) map[int]float64
 }
 
+// EdgeSink receives the values an EdgeWriter scatters onto a faulty sender's
+// outgoing edges. k indexes the sender's sorted out-neighbor list: Send(k, v)
+// delivers v on the edge to view.G.OutView(sender)[k]. Edges not written
+// behave exactly like receivers omitted from Messages (the synchronous
+// engines substitute the ghost state; the asynchronous engine delivers
+// nothing). Implementations are engine-owned flat buffers, so Send is O(1)
+// and allocation-free.
+type EdgeSink interface {
+	Send(k int, value float64)
+}
+
+// EdgeWriter is the allocation-free fast path of Strategy. Engines probe for
+// it once per run and, when present, call WriteMessages instead of Messages,
+// scattering values straight onto their flat edge planes with no per-round
+// map.
+//
+// Contract: WriteMessages must be observationally identical to Messages —
+// for every view and sender, Send(k, v) is called exactly once for each
+// entry (OutView(sender)[k] -> v) of the Messages map and for nothing else
+// (call order along the out-edge list is ascending k). Randomized strategies
+// must consume their rng stream identically on both paths.
+// FuzzEdgeWriterEquivalence enforces this for the built-ins.
+type EdgeWriter interface {
+	Strategy
+	WriteMessages(view RoundView, sender int, w EdgeSink)
+}
+
 // Conforming behaves exactly like a fault-free node: it sends the ghost
 // state on every outgoing edge. Useful as a control in experiments.
 type Conforming struct{}
 
-var _ Strategy = Conforming{}
+var _ EdgeWriter = Conforming{}
 
 // Name implements Strategy.
 func (Conforming) Name() string { return "conforming" }
@@ -67,6 +94,14 @@ func (Conforming) Messages(view RoundView, sender int) map[int]float64 {
 	return out
 }
 
+// WriteMessages implements EdgeWriter.
+func (Conforming) WriteMessages(view RoundView, sender int, w EdgeSink) {
+	v := view.States[sender]
+	for k := range view.G.OutView(sender) {
+		w.Send(k, v)
+	}
+}
+
 // Fixed sends a constant value on every edge, every round — the classic
 // "stubborn" fault. With Value outside the initial input range it doubles
 // as a validity stress test: Algorithm 1 must trim it away.
@@ -74,7 +109,7 @@ type Fixed struct {
 	Value float64
 }
 
-var _ Strategy = Fixed{}
+var _ EdgeWriter = Fixed{}
 
 // Name implements Strategy.
 func (f Fixed) Name() string { return fmt.Sprintf("fixed(%g)", f.Value) }
@@ -88,18 +123,28 @@ func (f Fixed) Messages(view RoundView, sender int) map[int]float64 {
 	return out
 }
 
+// WriteMessages implements EdgeWriter.
+func (f Fixed) WriteMessages(view RoundView, sender int, w EdgeSink) {
+	for k := range view.G.OutView(sender) {
+		w.Send(k, f.Value)
+	}
+}
+
 // Silent omits every message — a crash-like fault. The synchronous engine
 // substitutes the ghost state (see package comment); the asynchronous engine
 // genuinely withholds, exercising the wait-for-|N⁻|−f quorum path.
 type Silent struct{}
 
-var _ Strategy = Silent{}
+var _ EdgeWriter = Silent{}
 
 // Name implements Strategy.
 func (Silent) Name() string { return "silent" }
 
 // Messages returns an empty map.
 func (Silent) Messages(RoundView, int) map[int]float64 { return map[int]float64{} }
+
+// WriteMessages implements EdgeWriter: nothing is written.
+func (Silent) WriteMessages(RoundView, int, EdgeSink) {}
 
 // RandomNoise sends an independent uniform value in [Lo, Hi] on every edge,
 // every round — maximal equivocation. Rng must be non-nil and is used only
@@ -109,7 +154,7 @@ type RandomNoise struct {
 	Lo, Hi float64
 }
 
-var _ Strategy = (*RandomNoise)(nil)
+var _ EdgeWriter = (*RandomNoise)(nil)
 
 // Name implements Strategy.
 func (r *RandomNoise) Name() string { return fmt.Sprintf("noise[%g,%g]", r.Lo, r.Hi) }
@@ -123,6 +168,15 @@ func (r *RandomNoise) Messages(view RoundView, sender int) map[int]float64 {
 	return out
 }
 
+// WriteMessages implements EdgeWriter. Draw order matches Messages exactly
+// (one Float64 per out-neighbor, ascending), so both paths consume the same
+// rng stream.
+func (r *RandomNoise) WriteMessages(view RoundView, sender int, w EdgeSink) {
+	for k := range view.G.OutView(sender) {
+		w.Send(k, r.Lo+r.Rng.Float64()*(r.Hi-r.Lo))
+	}
+}
+
 // Extremes splits receivers: even-ID receivers get U[t−1]+Amplitude,
 // odd-ID receivers get µ[t−1]−Amplitude. It equivocates maximally in
 // opposite directions, the generic version of the Theorem 1 attack.
@@ -130,7 +184,7 @@ type Extremes struct {
 	Amplitude float64
 }
 
-var _ Strategy = Extremes{}
+var _ EdgeWriter = Extremes{}
 
 // Name implements Strategy.
 func (e Extremes) Name() string { return fmt.Sprintf("extremes(±%g)", e.Amplitude) }
@@ -148,6 +202,18 @@ func (e Extremes) Messages(view RoundView, sender int) map[int]float64 {
 	return out
 }
 
+// WriteMessages implements EdgeWriter.
+func (e Extremes) WriteMessages(view RoundView, sender int, w EdgeSink) {
+	high, low := view.Hi+e.Amplitude, view.Lo-e.Amplitude
+	for k, to := range view.G.OutView(sender) {
+		if to%2 == 0 {
+			w.Send(k, high)
+		} else {
+			w.Send(k, low)
+		}
+	}
+}
+
 // PartitionAttack is the adversary from the proof of Theorem 1. Given a
 // violating partition (F = the faulty set running this strategy, L, R, C),
 // it sends Low−Eps to nodes in L, High+Eps to nodes in R, and
@@ -163,7 +229,7 @@ type PartitionAttack struct {
 	Eps float64
 }
 
-var _ Strategy = PartitionAttack{}
+var _ EdgeWriter = PartitionAttack{}
 
 // Name implements Strategy.
 func (PartitionAttack) Name() string { return "partition-attack" }
@@ -184,6 +250,20 @@ func (p PartitionAttack) Messages(view RoundView, sender int) map[int]float64 {
 	return out
 }
 
+// WriteMessages implements EdgeWriter.
+func (p PartitionAttack) WriteMessages(view RoundView, sender int, w EdgeSink) {
+	for k, to := range view.G.OutView(sender) {
+		switch {
+		case p.L.Contains(to):
+			w.Send(k, p.Low-p.Eps)
+		case p.R.Contains(to):
+			w.Send(k, p.High+p.Eps)
+		default:
+			w.Send(k, (p.Low+p.High)/2)
+		}
+	}
+}
+
 // Hug sends the current extreme of the fault-free range (U[t−1] if High,
 // else µ[t−1]) on every edge. The value is always inside the valid range,
 // so it is never distinguishable from a slow fault-free node, yet it drags
@@ -193,7 +273,7 @@ type Hug struct {
 	High bool
 }
 
-var _ Strategy = Hug{}
+var _ EdgeWriter = Hug{}
 
 // Name implements Strategy.
 func (h Hug) Name() string {
@@ -214,4 +294,15 @@ func (h Hug) Messages(view RoundView, sender int) map[int]float64 {
 		out[to] = v
 	}
 	return out
+}
+
+// WriteMessages implements EdgeWriter.
+func (h Hug) WriteMessages(view RoundView, sender int, w EdgeSink) {
+	v := view.Lo
+	if h.High {
+		v = view.Hi
+	}
+	for k := range view.G.OutView(sender) {
+		w.Send(k, v)
+	}
 }

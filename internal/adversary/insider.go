@@ -17,12 +17,23 @@ import (
 // discarded it always survives (possibly displaced by colluding copies of
 // itself, which carry the same value). This exploits the full omniscience
 // the failure model grants (Section 2.2).
+//
+// The EdgeWriter fast path lives on *Insider: it reuses an internal scratch
+// buffer across calls and so must not be shared between goroutines. The
+// value type remains a valid (allocating) Strategy.
 type Insider struct {
 	// High selects the drag direction.
 	High bool
+
+	// scratch backs the allocation-free WriteMessages path; it grows to the
+	// largest honest in-neighborhood seen and is then reused.
+	scratch []float64
 }
 
-var _ Strategy = Insider{}
+var (
+	_ Strategy   = Insider{}
+	_ EdgeWriter = (*Insider)(nil)
+)
 
 // Name implements Strategy.
 func (a Insider) Name() string {
@@ -36,15 +47,28 @@ func (a Insider) Name() string {
 func (a Insider) Messages(view RoundView, sender int) map[int]float64 {
 	out := make(map[int]float64)
 	for _, to := range view.G.OutNeighbors(sender) {
-		out[to] = a.valueFor(view, to)
+		v, _ := a.valueFor(view, to, nil)
+		out[to] = v
 	}
 	return out
 }
 
-// valueFor computes the surviving-extreme value for one receiver.
-func (a Insider) valueFor(view RoundView, receiver int) float64 {
-	var honest []float64
-	for _, from := range view.G.InNeighbors(receiver) {
+// WriteMessages implements EdgeWriter, producing exactly the values of
+// Messages with zero steady-state allocations.
+func (a *Insider) WriteMessages(view RoundView, sender int, w EdgeSink) {
+	for k, to := range view.G.OutView(sender) {
+		var v float64
+		v, a.scratch = a.valueFor(view, to, a.scratch[:0])
+		w.Send(k, v)
+	}
+}
+
+// valueFor computes the surviving-extreme value for one receiver, gathering
+// honest in-neighbor states into buf (grown as needed and returned for
+// reuse).
+func (a Insider) valueFor(view RoundView, receiver int, buf []float64) (float64, []float64) {
+	honest := buf
+	for _, from := range view.G.InView(receiver) {
 		if !view.Faulty.Contains(from) {
 			honest = append(honest, view.States[from])
 		}
@@ -52,9 +76,9 @@ func (a Insider) valueFor(view RoundView, receiver int) float64 {
 	if len(honest) == 0 {
 		// No honest in-neighbors to hide among; fall back to the hull edge.
 		if a.High {
-			return view.Hi
+			return view.Hi, honest
 		}
-		return view.Lo
+		return view.Lo, honest
 	}
 	sort.Float64s(honest)
 	k := view.F
@@ -63,10 +87,10 @@ func (a Insider) valueFor(view RoundView, receiver int) float64 {
 	}
 	if a.High {
 		// (f+1)-th largest honest value in the receiver's neighborhood.
-		return honest[len(honest)-1-k]
+		return honest[len(honest)-1-k], honest
 	}
 	// (f+1)-th smallest.
-	return honest[k]
+	return honest[k], honest
 }
 
 // String aids debugging.

@@ -219,6 +219,10 @@ func Run(cfg Config) (*Trace, error) {
 			value: value,
 		})
 	}
+	// EdgeWriter fast path: probed once, scattered through a reused sink so
+	// faulty emissions allocate no per-batch map.
+	ew, _ := cfg.Adversary.(adversary.EdgeWriter)
+	esink := emitSink{send: send}
 
 	lo, hi := faultFreeRange(states, faultFree)
 	tr := &Trace{
@@ -262,7 +266,7 @@ func Run(cfg Config) (*Trace, error) {
 		tr.Time = e.at
 		switch e.kind {
 		case evEmit:
-			emitFaulty(&cfg, e, states, faultFree, send)
+			emitFaulty(&cfg, e, states, faultFree, send, ew, &esink)
 			if e.round+1 <= cfg.MaxRounds {
 				push(event{at: e.at + tick, kind: evEmit, from: e.from, round: e.round + 1})
 			}
@@ -330,9 +334,25 @@ func Run(cfg Config) (*Trace, error) {
 	return tr, nil
 }
 
+// emitSink adapts the event-queue send to adversary.EdgeSink for one faulty
+// emission at a time: each Send schedules the arrival on the sender's k-th
+// out-edge. Edges the strategy skips get no event — asynchronous silence.
+type emitSink struct {
+	send  func(now float64, from, to, round int, value float64)
+	outs  []int
+	now   float64
+	from  int
+	round int
+}
+
+// Send implements adversary.EdgeSink.
+func (s *emitSink) Send(k int, value float64) {
+	s.send(s.now, s.from, s.outs[k], s.round, value)
+}
+
 // emitFaulty schedules one faulty node's round-k batch according to the
-// adversary strategy.
-func emitFaulty(cfg *Config, e event, states []float64, faultFree nodeset.Set, send func(now float64, from, to, round int, value float64)) {
+// adversary strategy, through the EdgeWriter fast path when available.
+func emitFaulty(cfg *Config, e event, states []float64, faultFree nodeset.Set, send func(now float64, from, to, round int, value float64), ew adversary.EdgeWriter, esink *emitSink) {
 	lo, hi := faultFreeRange(states, faultFree)
 	view := adversary.RoundView{
 		Round:  e.round,
@@ -343,8 +363,14 @@ func emitFaulty(cfg *Config, e event, states []float64, faultFree nodeset.Set, s
 		Lo:     lo,
 		Hi:     hi,
 	}
+	if ew != nil {
+		esink.outs = cfg.G.OutView(e.from)
+		esink.now, esink.from, esink.round = e.at, e.from, e.round
+		ew.WriteMessages(view, e.from, esink)
+		return
+	}
 	msgs := cfg.Adversary.Messages(view, e.from)
-	for _, to := range cfg.G.OutNeighbors(e.from) {
+	for _, to := range cfg.G.OutView(e.from) {
 		if v, ok := msgs[to]; ok {
 			send(e.at, e.from, to, e.round, v)
 		}

@@ -44,14 +44,26 @@ type BenchArtifact struct {
 // cmdBench implements `iabc bench`: run the hot-path micro-benchmarks with
 // allocation tracking (the in-binary equivalent of `go test -bench
 // -benchmem` over the engine and checker paths) and write the JSON
-// trajectory artifact.
+// trajectory artifact. With -compare it additionally diffs the fresh
+// numbers against a committed baseline artifact and fails on large
+// regressions — the trend gate CI runs as a non-blocking job.
 func cmdBench(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	out := fs.String("out", "", "artifact path (default BENCH_<yyyy-mm-dd>.json; - for stdout only)")
 	notes := fs.String("notes", "", "free-form note recorded in the artifact (e.g. before/after context)")
 	short := fs.Bool("short", false, "skip the slow exact-checker benchmark (CI smoke mode)")
+	compare := fs.String("compare", "", "baseline artifact to diff against; exits nonzero on regression")
+	maxRegress := fs.Float64("max-regress", 0.25, "relative ns/op (and allocs/op) slowdown tolerated by -compare")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Load the baseline before measuring so a bad path fails fast.
+	var baseline *BenchArtifact
+	if *compare != "" {
+		var err error
+		if baseline, err = loadBenchArtifact(*compare); err != nil {
+			return err
+		}
 	}
 
 	art := BenchArtifact{
@@ -154,6 +166,53 @@ func cmdBench(args []string, stdout io.Writer) error {
 		b.ReportMetric(float64(rounds)*batch*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
 	})
 
+	// Steady-state round loop with an EdgeWriter adversary: MaxRounds is b.N
+	// so one op is one round and setup amortizes away — allocs/op must
+	// report 0 (doc.go invariant 3).
+	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Matrix{}} {
+		eng := eng
+		run("engine/"+eng.Name()+"-steady/core_n16_f2", func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := engCfg
+			cfg.MaxRounds = b.N
+			tr, err := eng.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tr.Rounds != b.N {
+				b.Fatalf("rounds = %d, want %d", tr.Rounds, b.N)
+			}
+		})
+	}
+
+	// Scenario batching: the same point re-simulated under 8 adversaries
+	// with the engine setup shared (sim.RunScenarios) — the sweep dimension
+	// the matrix replay cannot vary.
+	scenAdvs := []adversary.Strategy{
+		adversary.Hug{High: true}, adversary.Hug{},
+		adversary.Extremes{Amplitude: 50},
+		adversary.Fixed{Value: 1e6}, adversary.Fixed{Value: -1e6},
+		&adversary.Insider{High: true}, &adversary.Insider{},
+		adversary.Conforming{},
+	}
+	scens := make([]sim.Scenario, len(scenAdvs))
+	for i, s := range scenAdvs {
+		scens[i] = sim.Scenario{Adversary: s}
+	}
+	run("engine/scenarios8/core_n16_f2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			trs, err := sim.RunScenarios(engCfg, scens)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(trs) != len(scens) {
+				b.Fatalf("traces = %d", len(trs))
+			}
+		}
+		b.ReportMetric(float64(rounds)*float64(len(scens))*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+	})
+
 	ag, err := topology.Complete(7)
 	if err != nil {
 		return err
@@ -197,20 +256,77 @@ func cmdBench(args []string, stdout io.Writer) error {
 	}
 
 	path := *out
-	if path == "-" {
-		return nil
+	if path != "-" {
+		if path == "" {
+			path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		}
+		data, err := json.MarshalIndent(&art, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
 	}
-	if path == "" {
-		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+
+	if baseline != nil {
+		regs := compareArtifacts(&art, baseline, *maxRegress)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(stdout, "REGRESSION: %s\n", r)
+			}
+			return fmt.Errorf("cli: %d benchmark regression(s) vs %s (threshold +%.0f%%)",
+				len(regs), *compare, *maxRegress*100)
+		}
+		fmt.Fprintf(stdout, "no regressions vs %s (threshold +%.0f%%)\n", *compare, *maxRegress*100)
 	}
-	data, err := json.MarshalIndent(&art, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "wrote %s\n", path)
 	return nil
+}
+
+// loadBenchArtifact reads a BENCH_<date>.json trajectory file.
+func loadBenchArtifact(path string) (*BenchArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cli: reading baseline: %w", err)
+	}
+	var art BenchArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("cli: parsing baseline %s: %w", path, err)
+	}
+	return &art, nil
+}
+
+// allocSlack absorbs small absolute allocation jitter (trace growth past the
+// preallocated window, map resizing) so the relative threshold only fires on
+// real regressions; a 0→2 allocs/op change is noise, 1000→1300 is not.
+const allocSlack = 16
+
+// compareArtifacts diffs fresh results against a baseline by benchmark name
+// and returns one description per regression beyond maxRegress (relative).
+// Benchmarks present on only one side are skipped — the suite grows across
+// PRs and a trend gate must not punish new coverage.
+func compareArtifacts(fresh, baseline *BenchArtifact, maxRegress float64) []string {
+	base := make(map[string]BenchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regs []string
+	for _, r := range fresh.Results {
+		old, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		if r.NsPerOp > old.NsPerOp*(1+maxRegress) {
+			regs = append(regs, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%+.1f%%)",
+				r.Name, r.NsPerOp, old.NsPerOp, (r.NsPerOp/old.NsPerOp-1)*100))
+		}
+		if r.AllocsPerOp > old.AllocsPerOp+allocSlack &&
+			float64(r.AllocsPerOp) > float64(old.AllocsPerOp)*(1+maxRegress) {
+			regs = append(regs, fmt.Sprintf("%s: %d allocs/op vs baseline %d",
+				r.Name, r.AllocsPerOp, old.AllocsPerOp))
+		}
+	}
+	return regs
 }

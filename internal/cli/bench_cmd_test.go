@@ -53,3 +53,55 @@ func TestBenchCommandBadFlag(t *testing.T) {
 		t.Errorf("exit = %d, want 1", code)
 	}
 }
+
+func TestCompareArtifacts(t *testing.T) {
+	baseline := &BenchArtifact{Results: []BenchResult{
+		{Name: "engine/sequential/core_n16_f2", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "engine/matrix/core_n16_f2", NsPerOp: 2000, AllocsPerOp: 0},
+		{Name: "retired/benchmark", NsPerOp: 1},
+	}}
+	cases := []struct {
+		name    string
+		fresh   []BenchResult
+		wantReg int
+	}{
+		{"identical", []BenchResult{
+			{Name: "engine/sequential/core_n16_f2", NsPerOp: 1000, AllocsPerOp: 100},
+		}, 0},
+		{"within threshold", []BenchResult{
+			{Name: "engine/sequential/core_n16_f2", NsPerOp: 1200, AllocsPerOp: 110},
+		}, 0},
+		{"ns regression", []BenchResult{
+			{Name: "engine/sequential/core_n16_f2", NsPerOp: 1600, AllocsPerOp: 100},
+		}, 1},
+		{"alloc regression", []BenchResult{
+			{Name: "engine/sequential/core_n16_f2", NsPerOp: 1000, AllocsPerOp: 200},
+		}, 1},
+		{"alloc jitter below slack ignored", []BenchResult{
+			{Name: "engine/matrix/core_n16_f2", NsPerOp: 2000, AllocsPerOp: 8},
+		}, 0},
+		{"both regress", []BenchResult{
+			{Name: "engine/sequential/core_n16_f2", NsPerOp: 9999, AllocsPerOp: 999},
+		}, 2},
+		{"new benchmark skipped", []BenchResult{
+			{Name: "engine/brand-new/thing", NsPerOp: 1e9, AllocsPerOp: 1e6},
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs := compareArtifacts(&BenchArtifact{Results: tc.fresh}, baseline, 0.25)
+			if len(regs) != tc.wantReg {
+				t.Errorf("regressions = %d (%v), want %d", len(regs), regs, tc.wantReg)
+			}
+		})
+	}
+}
+
+func TestBenchCompareMissingBaseline(t *testing.T) {
+	// The baseline loads before any measurement, so this fails fast.
+	code, _, stderr := run(t, "", "bench", "-short", "-out", "-",
+		"-compare", filepath.Join(t.TempDir(), "absent.json"))
+	if code != 1 || !strings.Contains(stderr, "baseline") {
+		t.Errorf("missing baseline should fail: code=%d stderr=%q", code, stderr)
+	}
+}

@@ -157,8 +157,12 @@ func adversaryByName(name string, seed int64) (adversary.Strategy, error) {
 		return adversary.Hug{High: true}, nil
 	case "hug-low":
 		return adversary.Hug{}, nil
+	case "insider-high":
+		return &adversary.Insider{High: true}, nil
+	case "insider-low":
+		return &adversary.Insider{}, nil
 	default:
-		return nil, fmt.Errorf("cli: unknown adversary %q (conforming|fixed-high|fixed-low|silent|noise|extremes|hug-high|hug-low)", name)
+		return nil, fmt.Errorf("cli: unknown adversary %q (conforming|fixed-high|fixed-low|silent|noise|extremes|hug-high|hug-low|insider-high|insider-low)", name)
 	}
 }
 

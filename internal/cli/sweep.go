@@ -8,7 +8,9 @@ import (
 	"math"
 	"math/rand"
 	"strconv"
+	"strings"
 
+	"iabc/internal/adversary"
 	"iabc/internal/condition"
 	"iabc/internal/core"
 	"iabc/internal/graph"
@@ -58,7 +60,10 @@ func cmdRepair(args []string, stdin io.Reader, stdout io.Writer) error {
 // With -scenarios K > 0 the sweep additionally replays each point's
 // recorded round structure (sim.Matrix.RunBatch) over K perturbed initial
 // vectors — a sensitivity column at amortized per-round cost instead of K
-// full re-simulations.
+// full re-simulations. With -adversaries a,b,c the sweep varies the other
+// batching dimension: every point is re-simulated under each listed
+// strategy through sim.RunScenarios, which shares the per-graph engine
+// setup across the whole batch, and the CSV gains one row per adversary.
 func cmdSweep(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	family := fs.String("family", "core", "core|chord|complete|circulant")
@@ -67,6 +72,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	to := fs.Int("to", 12, "last n (inclusive)")
 	eps := fs.Float64("eps", 1e-6, "convergence threshold")
 	advName := fs.String("adversary", "extremes", "byzantine strategy")
+	advList := fs.String("adversaries", "", "comma-separated strategies; each point is run under all of them via the batched scenario engine")
 	rounds := fs.Int("rounds", 100000, "round cap per point")
 	seed := fs.Int64("seed", 1, "seed for randomized pieces")
 	engineName := fs.String("engine", "sequential", "sequential|concurrent|matrix")
@@ -81,18 +87,24 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	if *scenarios < 0 {
 		return fmt.Errorf("cli: negative scenarios %d", *scenarios)
 	}
+	engineSet := false
+	fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == "engine" {
+			engineSet = true
+		}
+	})
 	if *scenarios > 0 {
 		// The scenarios column is a matrix-engine replay; an explicitly
 		// chosen different engine would be silently ignored, so reject it.
-		engineSet := false
-		fs.Visit(func(fl *flag.Flag) {
-			if fl.Name == "engine" {
-				engineSet = true
-			}
-		})
 		if engineSet && *engineName != "matrix" {
 			return fmt.Errorf("cli: -scenarios uses the matrix engine's batched replay; drop -engine %s or use -engine matrix", *engineName)
 		}
+		if *advList != "" {
+			return fmt.Errorf("cli: -scenarios (initial-vector replay) and -adversaries (scenario batch) are separate batching dimensions; use one per sweep")
+		}
+	}
+	if *advList != "" && engineSet && *engineName != "sequential" {
+		return fmt.Errorf("cli: -adversaries runs the batched sequential scenario engine; drop -engine %s", *engineName)
 	}
 
 	var build func(n int) (*graph.Graph, error)
@@ -121,12 +133,20 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		return fmt.Errorf("cli: empty range %d..%d", *from, *to)
 	}
 
-	strat, err := adversaryByName(*advName, *seed)
-	if err != nil {
-		return err
+	advNames := []string{*advName}
+	if *advList != "" {
+		advNames = strings.Split(*advList, ",")
+	}
+	strats := make([]adversary.Strategy, len(advNames))
+	for i, name := range advNames {
+		name = strings.TrimSpace(name)
+		advNames[i] = name
+		if strats[i], err = adversaryByName(name, *seed); err != nil {
+			return err
+		}
 	}
 	cw := csv.NewWriter(stdout)
-	if err := cw.Write([]string{"family", "n", "f", "satisfied", "rounds_to_eps", "converged", "scenario_final_range_max"}); err != nil {
+	if err := cw.Write([]string{"family", "n", "f", "adversary", "satisfied", "rounds_to_eps", "converged", "scenario_final_range_max"}); err != nil {
 		return err
 	}
 	for n := *from; n <= *to; n++ {
@@ -139,17 +159,18 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		row := []string{*family, strconv.Itoa(n), strconv.Itoa(*f), strconv.FormatBool(chk.Satisfied), "", "", ""}
+		cfg := sim.Config{
+			G: g, F: *f, Faulty: firstNodes(n, *f),
+			Initial:   workload.Bimodal(n, 0, 1),
+			Rule:      core.TrimmedMean{},
+			Adversary: strats[0],
+			MaxRounds: *rounds, Epsilon: *eps,
+		}
+		var traces []*sim.Trace
+		scenarioRange := ""
 		if chk.Satisfied {
-			cfg := sim.Config{
-				G: g, F: *f, Faulty: firstNodes(n, *f),
-				Initial:   workload.Bimodal(n, 0, 1),
-				Rule:      core.TrimmedMean{},
-				Adversary: strat,
-				MaxRounds: *rounds, Epsilon: *eps,
-			}
-			var tr *sim.Trace
-			if *scenarios > 0 {
+			switch {
+			case *scenarios > 0:
 				extras := make([][]float64, *scenarios)
 				rng := rand.New(rand.NewSource(*seed + int64(n)))
 				for x := range extras {
@@ -159,8 +180,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 					}
 					extras[x] = v
 				}
-				var finals [][]float64
-				tr, finals, err = sim.Matrix{}.RunBatch(cfg, extras)
+				tr, finals, err := sim.Matrix{}.RunBatch(cfg, extras)
 				if err != nil {
 					return err
 				}
@@ -174,18 +194,36 @@ func cmdSweep(args []string, stdout io.Writer) error {
 					})
 					maxRange = math.Max(maxRange, hi-lo)
 				}
-				row[6] = strconv.FormatFloat(maxRange, 'e', 3, 64)
-			} else {
-				tr, err = engine.Run(cfg)
+				scenarioRange = strconv.FormatFloat(maxRange, 'e', 3, 64)
+				traces = []*sim.Trace{tr}
+			case len(strats) > 1:
+				// One shared engine setup per point, re-simulated under
+				// every listed adversary.
+				scens := make([]sim.Scenario, len(strats))
+				for i, s := range strats {
+					scens[i] = sim.Scenario{Name: advNames[i], Adversary: s}
+				}
+				if traces, err = sim.RunScenarios(cfg, scens); err != nil {
+					return err
+				}
+			default:
+				tr, err := engine.Run(cfg)
 				if err != nil {
 					return err
 				}
+				traces = []*sim.Trace{tr}
 			}
-			row[4] = strconv.Itoa(tr.Rounds)
-			row[5] = strconv.FormatBool(tr.Converged)
 		}
-		if err := cw.Write(row); err != nil {
-			return err
+		for i, name := range advNames {
+			row := []string{*family, strconv.Itoa(n), strconv.Itoa(*f), name,
+				strconv.FormatBool(chk.Satisfied), "", "", scenarioRange}
+			if i < len(traces) {
+				row[5] = strconv.Itoa(traces[i].Rounds)
+				row[6] = strconv.FormatBool(traces[i].Converged)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
 		}
 	}
 	cw.Flush()

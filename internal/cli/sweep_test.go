@@ -49,7 +49,7 @@ func TestSweepCore(t *testing.T) {
 		t.Fatalf("exit = %d, stderr = %q", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if lines[0] != "family,n,f,satisfied,rounds_to_eps,converged,scenario_final_range_max" {
+	if lines[0] != "family,n,f,adversary,satisfied,rounds_to_eps,converged,scenario_final_range_max" {
 		t.Fatalf("header = %q", lines[0])
 	}
 	if len(lines) != 4 { // n = 4, 5, 6
@@ -59,6 +59,51 @@ func TestSweepCore(t *testing.T) {
 		if !strings.Contains(line, "true") {
 			t.Errorf("core row should satisfy and converge: %q", line)
 		}
+		if !strings.Contains(line, "extremes") {
+			t.Errorf("adversary column missing: %q", line)
+		}
+	}
+}
+
+func TestSweepAdversaryBatch(t *testing.T) {
+	code, stdout, stderr := run(t, "", "sweep", "-family", "core", "-f", "1", "-to", "5",
+		"-rounds", "5000", "-adversaries", "extremes,hug-high,insider-high")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 7 { // header + (n=4,5) × 3 adversaries
+		t.Fatalf("rows = %d, want 7:\n%s", len(lines), stdout)
+	}
+	for _, name := range []string{"extremes", "hug-high", "insider-high"} {
+		found := 0
+		for _, line := range lines[1:] {
+			cols := strings.Split(line, ",")
+			if cols[3] == name {
+				found++
+				if cols[6] != "true" {
+					t.Errorf("%s row did not converge: %q", name, line)
+				}
+			}
+		}
+		if found != 2 {
+			t.Errorf("adversary %s: %d rows, want 2", name, found)
+		}
+	}
+}
+
+func TestSweepAdversariesFlagConflicts(t *testing.T) {
+	code, _, stderr := run(t, "", "sweep", "-family", "core", "-adversaries", "extremes,hug-high", "-scenarios", "2")
+	if code != 1 || !strings.Contains(stderr, "batching") {
+		t.Errorf("-adversaries with -scenarios should be rejected: code=%d stderr=%q", code, stderr)
+	}
+	code, _, stderr = run(t, "", "sweep", "-family", "core", "-adversaries", "extremes,hug-high", "-engine", "matrix")
+	if code != 1 || !strings.Contains(stderr, "sequential") {
+		t.Errorf("-adversaries with -engine matrix should be rejected: code=%d stderr=%q", code, stderr)
+	}
+	code, _, _ = run(t, "", "sweep", "-family", "core", "-adversaries", "extremes,warp-core")
+	if code != 1 {
+		t.Error("unknown adversary in -adversaries should fail")
 	}
 }
 
@@ -71,7 +116,7 @@ func TestSweepMatrixScenarios(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
 	for _, line := range lines[1:] {
 		cols := strings.Split(line, ",")
-		if len(cols) != 7 || cols[6] == "" {
+		if len(cols) != 8 || cols[7] == "" {
 			t.Errorf("scenario column missing in %q", line)
 		}
 	}
@@ -101,7 +146,7 @@ func TestSweepChordShowsViolations(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
-	if !strings.Contains(stdout, "chord,7,2,false") {
+	if !strings.Contains(stdout, "chord,7,2,extremes,false") {
 		t.Errorf("chord(7,2) should report false: %q", stdout)
 	}
 }

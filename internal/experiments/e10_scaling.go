@@ -147,17 +147,45 @@ func E10Scaling() (*E10Result, error) {
 		Engine: fmt.Sprintf("matrix-batch(%d)", batch), N: 16, Rounds: tr.Rounds,
 		RoundsPerSec: float64(tr.Rounds) * batch / elapsed.Seconds(),
 	})
+	// The other batching dimension: the same point re-simulated under many
+	// adversaries with the engine setup shared (sim.RunScenarios) — what the
+	// matrix replay cannot vary, since a different adversary changes the
+	// recorded round structure itself.
+	scens := []sim.Scenario{
+		{Adversary: adversary.Hug{High: true}},
+		{Adversary: adversary.Hug{}},
+		{Adversary: adversary.Extremes{Amplitude: 50}},
+		{Adversary: adversary.Fixed{Value: 1e6}},
+		{Adversary: adversary.Fixed{Value: -1e6}},
+		{Adversary: &adversary.Insider{High: true}},
+		{Adversary: &adversary.Insider{}},
+		{Adversary: adversary.Conforming{}},
+	}
+	start = time.Now()
+	traces, err := sim.RunScenarios(engCfg, scens)
+	if err != nil {
+		return nil, err
+	}
+	elapsed = time.Since(start)
+	total := 0
+	for _, t := range traces {
+		total += t.Rounds
+	}
+	res.Engines = append(res.Engines, E10EngineRow{
+		Engine: fmt.Sprintf("scenarios(%d)", len(scens)), N: 16, Rounds: total,
+		RoundsPerSec: float64(total) / elapsed.Seconds(),
+	})
 	return res, nil
 }
 
 // Passed reports whether all checker rows verified the expected
 // satisfiability (core networks always satisfy) and every engine row
-// (sequential, concurrent, matrix, matrix-batch) completed.
+// (sequential, concurrent, matrix, matrix-batch, scenarios) completed.
 func (r *E10Result) Passed() bool {
 	for _, c := range r.Checker {
 		if !c.Satisfied {
 			return false
 		}
 	}
-	return len(r.Checker) > 0 && len(r.Engines) == 4
+	return len(r.Checker) > 0 && len(r.Engines) == 5
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"sync"
 
+	"iabc/internal/adversary"
 	"iabc/internal/core"
 )
 
@@ -31,6 +32,16 @@ type nodeReport struct {
 	id    int
 	state float64
 }
+
+// bufSink adapts one faulty sender's flat send buffer to adversary.EdgeSink:
+// the coordinator points it at sendBuf[s] and EdgeWriter strategies scatter
+// without a per-round map.
+type bufSink struct {
+	buf []float64
+}
+
+// Send implements adversary.EdgeSink.
+func (s *bufSink) Send(k int, value float64) { s.buf[k] = value }
 
 // Run implements Engine.
 func (Concurrent) Run(cfg Config) (*Trace, error) {
@@ -133,6 +144,11 @@ func (Concurrent) Run(cfg Config) (*Trace, error) {
 	}
 
 	hasAdv := cfg.Adversary != nil && len(p.faulty) > 0
+	var ew adversary.EdgeWriter
+	if hasAdv {
+		ew, _ = cfg.Adversary.(adversary.EdgeWriter)
+	}
+	var sink bufSink
 
 	// Coordinator: one iteration per loop turn.
 	var runErr error
@@ -141,7 +157,16 @@ func (Concurrent) Run(cfg Config) (*Trace, error) {
 			view := roundView(&cfg, round, states, faultFree, faulty)
 			for _, s := range p.faulty {
 				// Substitute ghost state for omitted receivers so every edge
-				// carries a value (matching Sequential's semantics).
+				// carries a value (matching Sequential's semantics): prefill
+				// the ghost, then let the strategy overwrite.
+				if ew != nil {
+					for k := range sendBuf[s] {
+						sendBuf[s][k] = states[s]
+					}
+					sink.buf = sendBuf[s]
+					ew.WriteMessages(view, s, &sink)
+					continue
+				}
 				msgs := cfg.Adversary.Messages(view, s)
 				for k, to := range cfg.G.OutView(s) {
 					if v, ok := msgs[to]; ok {

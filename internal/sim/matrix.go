@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"iabc/internal/adversary"
 	"iabc/internal/core"
 )
 
@@ -71,6 +72,37 @@ func (pr *roundProgram) apply(src, dst []float64) {
 	}
 }
 
+// applyBatch evaluates dst = M·src over K state vectors stored
+// structure-of-arrays: src[i*K+x] is vector x's value at node i. Each
+// program row is decoded once and applied to all K columns in contiguous
+// inner loops (acc is a caller-owned K-wide accumulator), so the batch pays
+// the sparse row walk once instead of K times and the inner loops vectorize.
+// Per column the floating-point operations and their order are exactly those
+// of apply, so results are bit-identical to K scalar replays.
+func (pr *roundProgram) applyBatch(src, dst []float64, K int, acc []float64) {
+	for i := range pr.weight {
+		base := i * K
+		copy(acc, src[base:base+K])
+		for _, t := range pr.terms[i] {
+			if t.col >= 0 {
+				col := src[t.col*K : t.col*K+K]
+				for x := range acc {
+					acc[x] += col[x]
+				}
+			} else {
+				v := t.val
+				for x := range acc {
+					acc[x] += v
+				}
+			}
+		}
+		w := pr.weight[i]
+		for x := range acc {
+			dst[base+x] = w * acc[x]
+		}
+	}
+}
+
 // Run implements Engine.
 func (Matrix) Run(cfg Config) (*Trace, error) {
 	tr, _, err := runMatrix(cfg, false)
@@ -83,11 +115,15 @@ func (Matrix) Run(cfg Config) (*Trace, error) {
 // with extras, each extra vector's final state. Extra vectors must have
 // length cfg.G.N().
 //
-// Replay cost is O(rounds · edges) per extra vector with no trimming, no
-// sorting, and no adversary calls — the amortization that makes wide
-// multi-scenario sweeps cheap. The recording itself retains every executed
-// round's program, O(rounds · edges) memory for the primary run: cap
-// MaxRounds (or rely on the Epsilon stop) accordingly on large graphs.
+// Replay cost is O(rounds · edges) for the whole batch-row walk plus
+// O(rounds · edges · K) flops with no trimming, no sorting, and no
+// adversary calls — the amortization that makes wide multi-scenario sweeps
+// cheap. The batch is laid out structure-of-arrays (see applyBatch) so each
+// recorded program row streams over all K vectors in one pass; results are
+// bit-identical to replaying the vectors one at a time. The recording
+// retains every executed round's program, O(rounds · edges) memory for the
+// primary run: cap MaxRounds (or rely on the Epsilon stop) accordingly on
+// large graphs.
 func (Matrix) RunBatch(cfg Config, extras [][]float64) (*Trace, [][]float64, error) {
 	if cfg.G == nil {
 		return nil, nil, errors.New("sim: nil graph")
@@ -102,16 +138,30 @@ func (Matrix) RunBatch(cfg Config, extras [][]float64) (*Trace, [][]float64, err
 	if err != nil {
 		return nil, nil, err
 	}
-	finals := make([][]float64, len(extras))
-	cur := make([]float64, n)
-	nxt := make([]float64, n)
+	K := len(extras)
+	finals := make([][]float64, K)
+	if K == 0 {
+		return tr, finals, nil
+	}
+	// Transpose extras into SoA: cur[i*K+x] = extras[x][i].
+	cur := make([]float64, n*K)
+	nxt := make([]float64, n*K)
 	for x, init := range extras {
-		copy(cur, init)
-		for _, pr := range progs {
-			pr.apply(cur, nxt)
-			cur, nxt = nxt, cur
+		for i, v := range init {
+			cur[i*K+x] = v
 		}
-		finals[x] = snapshot(cur)
+	}
+	acc := make([]float64, K)
+	for _, pr := range progs {
+		pr.applyBatch(cur, nxt, K, acc)
+		cur, nxt = nxt, cur
+	}
+	for x := range finals {
+		final := make([]float64, n)
+		for i := range final {
+			final[i] = cur[i*K+x]
+		}
+		finals[x] = final
 	}
 	return tr, finals, nil
 }
@@ -142,13 +192,14 @@ func runMatrix(cfg Config, keep bool) (*Trace, []*roundProgram, error) {
 	tr := newTrace(&cfg, states, faultFree)
 	p := newEdgePlane(cfg.G, faulty, true)
 
-	recv := make([]core.ValueFrom, p.inOff[n])
-	for e, s := range p.senders {
-		recv[e].From = s
-	}
+	recv := newRecvPlane(p)
 	mask := make([]bool, p.inOff[n])
 	var scratch core.Scratch
 	hasAdv := cfg.Adversary != nil && len(p.faulty) > 0
+	var ew adversary.EdgeWriter
+	if hasAdv {
+		ew, _ = cfg.Adversary.(adversary.EdgeWriter)
+	}
 
 	// frozen[i]: the update is statically undefined for node i's in-degree
 	// (only possible for faulty nodes — Validate rejects it for fault-free
@@ -177,7 +228,7 @@ func runMatrix(cfg Config, keep bool) (*Trace, []*roundProgram, error) {
 	for round := 1; round <= cfg.MaxRounds && !tr.Converged; round++ {
 		p.fill(states)
 		if hasAdv {
-			p.applyAdversary(cfg.Adversary, roundView(&cfg, round, states, faultFree, faulty))
+			p.applyAdversary(cfg.Adversary, ew, roundView(&cfg, round, states, faultFree, faulty))
 		}
 		pr := newProgram(round)
 		for i := 0; i < n; i++ {

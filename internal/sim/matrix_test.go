@@ -132,6 +132,138 @@ func TestMatrixRunBatchReplaysPrimary(t *testing.T) {
 	}
 }
 
+// TestMatrixRunBatchSoAMatchesScalarReplay is the SoA property test: the
+// batched structure-of-arrays replay must be bit-identical to replaying each
+// extra vector on its own (a K=1 batch walks the program rows exactly like
+// the scalar apply), across random scenarios and with NaN/±Inf entries in
+// the extras. Including the primary initial vector among the extras also
+// cross-checks applyBatch against the primary loop's scalar apply.
+func TestMatrixRunBatchSoAMatchesScalarReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -0.0}
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(8)
+		f := rng.Intn(3)
+		if n < 3*f+1 {
+			f = 0
+		}
+		g, err := topology.RandomDigraph(n, 0.85, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.MinInDegree() < 2*f+1 {
+			continue
+		}
+		initial := make([]float64, n)
+		for i := range initial {
+			initial[i] = rng.NormFloat64() * 5
+		}
+		faulty := nodeset.New(n)
+		for k := 0; k < f; k++ {
+			faulty.Add(rng.Intn(n))
+		}
+		var strat adversary.Strategy
+		if !faulty.Empty() {
+			strat = adversary.Extremes{Amplitude: 11}
+		}
+		cfg := Config{
+			G: g, F: f, Faulty: faulty, Initial: initial,
+			Rule: core.TrimmedMean{}, Adversary: strat,
+			MaxRounds: 40, Epsilon: 1e-12,
+		}
+		K := 2 + rng.Intn(7)
+		extras := make([][]float64, K)
+		extras[0] = append([]float64(nil), initial...) // anchor: primary replay
+		for x := 1; x < K; x++ {
+			v := make([]float64, n)
+			for i := range v {
+				if rng.Intn(6) == 0 {
+					v[i] = specials[rng.Intn(len(specials))]
+				} else {
+					v[i] = rng.NormFloat64() * 10
+				}
+			}
+			extras[x] = v
+		}
+		tr, batched, err := Matrix{}.RunBatch(cfg, extras)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range tr.Final {
+			if math.Float64bits(batched[0][i]) != math.Float64bits(tr.Final[i]) {
+				t.Fatalf("trial %d: batched primary replay diverged from scalar apply at node %d: %v vs %v",
+					trial, i, batched[0][i], tr.Final[i])
+			}
+		}
+		for x := 1; x < K; x++ {
+			_, single, err := Matrix{}.RunBatch(cfg, [][]float64{extras[x]})
+			if err != nil {
+				t.Fatalf("trial %d extra %d: %v", trial, x, err)
+			}
+			for i := range single[0] {
+				if math.Float64bits(batched[x][i]) != math.Float64bits(single[0][i]) {
+					t.Fatalf("trial %d extra %d node %d: SoA %v vs scalar %v",
+						trial, x, i, batched[x][i], single[0][i])
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixRunBatchMatchesIndependentRuns covers the one regime where the
+// replay semantics coincide with full re-simulation: with f = 0, no faults,
+// and no epsilon stop the round transition is state-independent, so the
+// recorded programs applied to any initial vector equal an independent
+// engine run from that vector.
+func TestMatrixRunBatchMatchesIndependentRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(6)
+		g, err := topology.RandomDigraph(n, 0.9, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.MinInDegree() < 1 {
+			continue
+		}
+		initial := make([]float64, n)
+		for i := range initial {
+			initial[i] = rng.Float64() * 4
+		}
+		cfg := Config{
+			G: g, F: 0, Initial: initial,
+			Rule: core.TrimmedMean{}, MaxRounds: 25, // Epsilon 0: run all rounds
+		}
+		const K = 5
+		extras := make([][]float64, K)
+		for x := range extras {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			extras[x] = v
+		}
+		_, finals, err := Matrix{}.RunBatch(cfg, extras)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range extras {
+			indep := cfg
+			indep.Initial = extras[x]
+			tr, err := Sequential{}.Run(indep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tr.Final {
+				if math.Float64bits(finals[x][i]) != math.Float64bits(tr.Final[i]) {
+					t.Fatalf("trial %d extra %d node %d: batch %v vs independent run %v",
+						trial, x, i, finals[x][i], tr.Final[i])
+				}
+			}
+		}
+	}
+}
+
 // TestMatrixRunBatchRejectsBadShape checks the extras length validation.
 func TestMatrixRunBatchRejectsBadShape(t *testing.T) {
 	g, err := topology.Complete(4)

@@ -14,8 +14,10 @@ import (
 // ascending sender order. One []float64 then carries the value delivered on
 // every edge this round — no per-round maps, no per-round allocation.
 //
-// The plane is built once per run (O(m log d) for the reverse index) and
-// refilled in place every round.
+// The geometry (offsets, sender lists, reverse index) depends only on the
+// graph, so RunScenarios builds it once and replays it across scenarios,
+// swapping the fault set with setFaulty. The plane is refilled in place
+// every round.
 type edgePlane struct {
 	g *graph.Graph
 	n int
@@ -34,6 +36,26 @@ type edgePlane struct {
 	// faulty lists the faulty node IDs ascending — hoisted out of the round
 	// loop so cfg.faulty() is not re-materialized per round.
 	faulty []int
+	// sink is the reusable EdgeSink handed to EdgeWriter strategies; it
+	// scatters straight into values (and fromState) via edgeOf.
+	sink planeSink
+}
+
+// planeSink adapts the plane to adversary.EdgeSink for one faulty sender at
+// a time. It lives inside the plane so taking its address never allocates.
+type planeSink struct {
+	p      *edgePlane
+	sender int
+}
+
+// Send implements adversary.EdgeSink: deliver value on the sender's k-th
+// out-edge, marking it adversary-injected for source tracking.
+func (s *planeSink) Send(k int, value float64) {
+	e := s.p.edgeOf[s.sender][k]
+	s.p.values[e] = value
+	if s.p.fromState != nil {
+		s.p.fromState[e] = false
+	}
 }
 
 // newEdgePlane builds the plane for one run. trackSource enables the
@@ -45,8 +67,9 @@ func newEdgePlane(g *graph.Graph, faulty nodeset.Set, trackSource bool) *edgePla
 		n:      n,
 		inOff:  make([]int, n+1),
 		edgeOf: make([][]int, n),
-		faulty: faulty.Members(),
 	}
+	p.sink.p = p
+	p.setFaulty(faulty)
 	for i := 0; i < n; i++ {
 		p.inOff[i+1] = p.inOff[i] + g.InDegree(i)
 	}
@@ -72,6 +95,17 @@ func newEdgePlane(g *graph.Graph, faulty nodeset.Set, trackSource bool) *edgePla
 	return p
 }
 
+// setFaulty re-materializes the ascending faulty-ID list, reusing the
+// existing slice storage. RunScenarios calls it when a scenario swaps the
+// fault set.
+func (p *edgePlane) setFaulty(faulty nodeset.Set) {
+	p.faulty = p.faulty[:0]
+	faulty.ForEach(func(i int) bool {
+		p.faulty = append(p.faulty, i)
+		return true
+	})
+}
+
 // fill loads the fault-free default for the round: every in-edge carries the
 // sender's (ghost) state.
 func (p *edgePlane) fill(states []float64) {
@@ -85,12 +119,22 @@ func (p *edgePlane) fill(states []float64) {
 	}
 }
 
-// applyAdversary asks the strategy for each faulty sender's transmissions —
-// in ascending sender order, preserving the deterministic rng stream of
-// randomized strategies — and scatters them onto the plane. Receivers the
-// strategy omits keep the ghost default already in place, matching the
-// synchronous substitution semantics (see package adversary).
-func (p *edgePlane) applyAdversary(adv adversary.Strategy, view adversary.RoundView) {
+// applyAdversary scatters each faulty sender's transmissions onto the plane,
+// in ascending sender order (preserving the deterministic rng stream of
+// randomized strategies). When the strategy implements adversary.EdgeWriter
+// (ew non-nil, probed once per run by the caller) values are written
+// straight onto the plane with no per-round map; otherwise the Messages map
+// fallback runs. Either way, edges the strategy leaves unwritten keep the
+// ghost default already in place, matching the synchronous substitution
+// semantics (see package adversary).
+func (p *edgePlane) applyAdversary(adv adversary.Strategy, ew adversary.EdgeWriter, view adversary.RoundView) {
+	if ew != nil {
+		for _, s := range p.faulty {
+			p.sink.sender = s
+			ew.WriteMessages(view, s, &p.sink)
+		}
+		return
+	}
 	for _, s := range p.faulty {
 		msgs := adv.Messages(view, s)
 		for k, to := range p.g.OutView(s) {

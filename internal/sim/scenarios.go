@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+
+	"iabc/internal/adversary"
+	"iabc/internal/nodeset"
+)
+
+// Scenario is one variation of a base Config in a batched sweep. Zero-value
+// fields keep the base configuration, so a sweep that only varies the
+// adversary sets nothing else.
+type Scenario struct {
+	// Name labels the scenario in results (defaults to the adversary name).
+	Name string
+	// Adversary overrides base.Adversary when non-nil.
+	Adversary adversary.Strategy
+	// Initial overrides base.Initial when non-nil (length must be n).
+	Initial []float64
+	// Faulty overrides base.Faulty when non-empty-capacity.
+	Faulty nodeset.Set
+}
+
+// apply merges the scenario's overrides into a copy of base.
+func (s *Scenario) apply(base Config) Config {
+	cfg := base
+	if s.Adversary != nil {
+		cfg.Adversary = s.Adversary
+	}
+	if s.Initial != nil {
+		cfg.Initial = s.Initial
+	}
+	if s.Faulty.Cap() != 0 {
+		cfg.Faulty = s.Faulty
+	}
+	return cfg
+}
+
+// RunScenarios executes base once per scenario on the sequential round loop,
+// amortizing the graph-dependent setup — edge-plane geometry (the O(m log d)
+// reverse index), receive buffers — across the whole batch. This is the
+// engine-level companion of Matrix.RunBatch: RunBatch replays one recorded
+// execution over many initial vectors, while RunScenarios re-simulates under
+// different adversaries (or fault sets or initial vectors), the sweep
+// dimension the matrix replay cannot vary.
+//
+// Traces are index-aligned with scenarios and bit-identical to what
+// Sequential.Run would produce for each derived config.
+func RunScenarios(base Config, scenarios []Scenario) ([]*Trace, error) {
+	if len(scenarios) == 0 {
+		return nil, nil
+	}
+	// Validate every derived config up front so a bad scenario fails fast
+	// instead of after its predecessors' simulation time.
+	cfgs := make([]Config, len(scenarios))
+	for i := range scenarios {
+		cfgs[i] = scenarios[i].apply(base)
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("sim: scenario %d (%s): %w", i, scenarioName(&scenarios[i]), err)
+		}
+	}
+	p := newEdgePlane(base.G, cfgs[0].faulty(), false)
+	recv := newRecvPlane(p)
+	traces := make([]*Trace, len(scenarios))
+	for i := range cfgs {
+		p.setFaulty(cfgs[i].faulty())
+		tr, err := runSequential(&cfgs[i], p, recv)
+		if err != nil {
+			return nil, fmt.Errorf("sim: scenario %d (%s): %w", i, scenarioName(&scenarios[i]), err)
+		}
+		traces[i] = &tr.Trace
+	}
+	return traces, nil
+}
+
+// scenarioName resolves the label used in errors and reports.
+func scenarioName(s *Scenario) string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.Adversary != nil {
+		return s.Adversary.Name()
+	}
+	return "base"
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"iabc/internal/adversary"
 	"iabc/internal/core"
 	"iabc/internal/nodeset"
 )
@@ -10,10 +11,12 @@ import (
 //
 // The round loop runs allocation-free in steady state: messages live on a
 // flat edge-indexed plane (see edgePlane), received vectors are views into
-// one preallocated buffer with sender IDs written once at setup, and rules
+// one preallocated buffer with sender IDs written once at setup, rules
 // implementing core.BufferedRule are driven through the zero-allocation
-// UpdateInto path. Only the adversary's per-sender message maps — part of
-// the adversary.Strategy contract — and the trace appends remain.
+// UpdateInto path, and strategies implementing adversary.EdgeWriter scatter
+// faulty values straight onto the plane with no per-round map. Only the
+// Messages-map fallback (for strategies without an EdgeWriter) and trace
+// growth beyond the preallocated window still allocate.
 type Sequential struct{}
 
 var _ Engine = Sequential{}
@@ -26,6 +29,28 @@ func (Sequential) Run(cfg Config) (*Trace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	p := newEdgePlane(cfg.G, cfg.faulty(), false)
+	tr, err := runSequential(&cfg, p, newRecvPlane(p))
+	if err != nil {
+		return nil, err
+	}
+	return &tr.Trace, nil
+}
+
+// newRecvPlane builds the flat received-vector buffer for all nodes; the
+// From fields never change across rounds, so they are written exactly once.
+func newRecvPlane(p *edgePlane) []core.ValueFrom {
+	recv := make([]core.ValueFrom, p.inOff[p.n])
+	for e, s := range p.senders {
+		recv[e].From = s
+	}
+	return recv
+}
+
+// runSequential is the sequential round loop over an existing plane and
+// receive buffer. The plane's fault set must already match cfg (setFaulty);
+// RunScenarios replays this loop with the same plane across scenarios.
+func runSequential(cfg *Config, p *edgePlane, recv []core.ValueFrom) (*tracer, error) {
 	n := cfg.G.N()
 	faulty := cfg.faulty()
 	faultFree := faulty.Complement()
@@ -33,23 +58,19 @@ func (Sequential) Run(cfg Config) (*Trace, error) {
 	states := snapshot(cfg.Initial)
 	next := make([]float64, n)
 
-	tr := newTrace(&cfg, states, faultFree)
-	p := newEdgePlane(cfg.G, faulty, false)
-
-	// One flat received-vector buffer for all nodes; the From fields never
-	// change across rounds, so they are written exactly once.
-	recv := make([]core.ValueFrom, p.inOff[n])
-	for e, s := range p.senders {
-		recv[e].From = s
-	}
+	tr := newTrace(cfg, states, faultFree)
 	buffered, _ := cfg.Rule.(core.BufferedRule)
 	var scratch core.Scratch
 	hasAdv := cfg.Adversary != nil && len(p.faulty) > 0
+	var ew adversary.EdgeWriter
+	if hasAdv {
+		ew, _ = cfg.Adversary.(adversary.EdgeWriter)
+	}
 
 	for round := 1; round <= cfg.MaxRounds && !tr.Converged; round++ {
 		p.fill(states)
 		if hasAdv {
-			p.applyAdversary(cfg.Adversary, roundView(&cfg, round, states, faultFree, faulty))
+			p.applyAdversary(cfg.Adversary, ew, roundView(cfg, round, states, faultFree, faulty))
 		}
 
 		for i := 0; i < n; i++ {
@@ -78,12 +99,12 @@ func (Sequential) Run(cfg Config) (*Trace, error) {
 		}
 		states, next = next, states
 
-		if done := tr.record(&cfg, round, states, faultFree); done {
+		if done := tr.record(cfg, round, states, faultFree); done {
 			break
 		}
 	}
 	tr.finish(states)
-	return &tr.Trace, nil
+	return tr, nil
 }
 
 // tracer accumulates a Trace incrementally; shared by all engines.
@@ -92,11 +113,19 @@ type tracer struct {
 	epsilon float64
 }
 
+// tracePrealloc caps the up-front U/µ capacity so short runs with huge
+// MaxRounds don't over-allocate; runs longer than this grow amortized.
+const tracePrealloc = 4096
+
 func newTrace(cfg *Config, initial []float64, faultFree nodeset.Set) *tracer {
 	lo, hi := faultFreeRange(initial, faultFree)
 	t := &tracer{epsilon: cfg.Epsilon}
-	t.U = append(t.U, hi)
-	t.Mu = append(t.Mu, lo)
+	capHint := cfg.MaxRounds + 1
+	if capHint > tracePrealloc {
+		capHint = tracePrealloc
+	}
+	t.U = append(make([]float64, 0, capHint), hi)
+	t.Mu = append(make([]float64, 0, capHint), lo)
 	t.FaultFree = faultFree.Clone()
 	t.RuleName, t.AdversaryName = names(cfg)
 	if cfg.RecordStates {
