@@ -433,6 +433,96 @@ func BenchmarkRunScenarios(b *testing.B) {
 		}
 		b.ReportMetric(float64(rounds*len(scens))*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 	})
+	// The parallel sweep: same scenarios fanned across workers, one private
+	// engine per worker, bit-identical traces. Speedup tracks core count
+	// (compare against batched8 on a multi-core machine).
+	for _, workers := range []int{2, 4, 0} {
+		name := fmt.Sprintf("parallel8/workers=%d", workers)
+		if workers == 0 {
+			name = "parallel8/workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Sweep(base, scens, sim.SweepOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Traces) != len(scens) {
+					b.Fatalf("traces = %d", len(res.Traces))
+				}
+			}
+			b.ReportMetric(float64(rounds*len(scens))*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+	// Pooled engines through the same sweep: the node-pool concurrent
+	// variant (goroutines/channels built once per sweep) and the matrix
+	// runner.
+	for _, eng := range []sim.Engine{sim.Concurrent{}, sim.Matrix{}} {
+		eng := eng
+		b.Run("pooled8/"+eng.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Sweep(base, scens, sim.SweepOptions{Engine: eng, Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rounds*len(scens))*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+}
+
+// BenchmarkMatrixScenarioSweep measures the composed batching dimensions:
+// 8 adversary scenarios, each recorded once on the matrix engine and
+// SoA-replayed over 64 extra initial vectors, fanned across all cores. The
+// metric counts replayed vector-rounds, comparable to BenchmarkMatrixBatch.
+func BenchmarkMatrixScenarioSweep(b *testing.B) {
+	const (
+		n, f   = 16, 2
+		rounds = 100
+		batch  = 64
+	)
+	g := mustCore(b, n, f)
+	initial := make([]float64, n)
+	for i := range initial {
+		initial[i] = float64(i)
+	}
+	base := sim.Config{
+		G: g, F: f, Faulty: nodeset.FromMembers(n, 0, 1), Initial: initial,
+		Rule: core.TrimmedMean{}, MaxRounds: rounds,
+		Adversary: adversary.Hug{High: true},
+	}
+	scens := []sim.Scenario{
+		{Adversary: adversary.Hug{High: true}},
+		{Adversary: adversary.Hug{}},
+		{Adversary: adversary.Extremes{Amplitude: 50}},
+		{Adversary: adversary.Fixed{Value: 1e6}},
+		{Adversary: adversary.Fixed{Value: -1e6}},
+		{Adversary: &adversary.Insider{High: true}},
+		{Adversary: &adversary.Insider{}},
+		{Adversary: adversary.Conforming{}},
+	}
+	extras := make([][]float64, batch)
+	for x := range extras {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i + x)
+		}
+		extras[x] = v
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Sweep(base, scens, sim.SweepOptions{
+			Engine: sim.Matrix{}, Workers: 0, Extras: extras,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Finals) != len(scens) {
+			b.Fatalf("finals = %d", len(res.Finals))
+		}
+	}
+	b.ReportMetric(float64(rounds*len(scens)*batch)*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
 }
 
 // BenchmarkSequentialSteadyState isolates the engine's own round loop — no

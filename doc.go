@@ -37,9 +37,15 @@
 //
 // For sweeps that vary the adversary (or fault set) rather than the initial
 // vector — where the round structure itself changes and the matrix replay
-// does not apply — sim.RunScenarios re-simulates each scenario on the
-// sequential loop while sharing the per-graph engine setup across the
-// batch.
+// does not apply — sim.Sweep re-simulates each scenario over pooled
+// per-worker engine state (a sim.ScenarioRunner: the sequential plane, the
+// node-pool sim.ConcurrentPool, or the matrix scratch) and fans independent
+// scenarios across cores (SweepOptions.Workers; ≤ 0 selects GOMAXPROCS).
+// With the Matrix engine, SweepOptions.Extras composes both batching
+// dimensions: each scenario's recorded round programs are SoA-replayed over
+// K extra initial vectors. sim.RunScenarios is the single-worker sequential
+// shorthand. Parallel sweeps are bit-identical to sequential ones as long as
+// scenarios do not share mutable adversary state.
 //
 // internal/async is a different model entirely (Section 7 quorum
 // iteration under message delays), not a fourth engine for the synchronous

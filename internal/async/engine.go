@@ -40,6 +40,13 @@ type Config struct {
 	// message batches (they are not bound by the protocol; a tick of 0
 	// defaults to 1.0).
 	FaultyTick float64
+	// HistoryEvery decimates Trace.History for long runs: when > 1 only
+	// every k-th state change is recorded (the initial point, the
+	// convergence-triggering change, and the final change are always kept),
+	// bounding history memory at roughly changes/k points instead of one
+	// point per state change. 0 or 1 records every change — the default,
+	// preserving the full-resolution behavior for short runs.
+	HistoryEvery int
 }
 
 // Validate checks the configuration.
@@ -62,6 +69,9 @@ func (c *Config) Validate() error {
 	}
 	if c.F < 0 {
 		return fmt.Errorf("async: negative F %d", c.F)
+	}
+	if c.HistoryEvery < 0 {
+		return fmt.Errorf("async: negative HistoryEvery %d", c.HistoryEvery)
 	}
 	if c.Faulty.Cap() != 0 && c.Faulty.Cap() != n {
 		return fmt.Errorf("async: Faulty set capacity %d does not match n = %d", c.Faulty.Cap(), n)
@@ -114,7 +124,9 @@ type Trace struct {
 	// Final is the final state vector (faulty entries are their initial
 	// values — the engine does not model faulty internal state).
 	Final []float64
-	// History samples the fault-free range after every state change.
+	// History samples the fault-free range after state changes: every
+	// change by default, every k-th (plus the final one) under
+	// Config.HistoryEvery decimation.
 	History []RangePoint
 	// InitialRange is U[0] − µ[0] over fault-free nodes.
 	InitialRange float64
@@ -250,10 +262,30 @@ func Run(cfg Config) (*Trace, error) {
 		quorum[i] = cfg.G.InDegree(i) - cfg.F
 	}
 
+	// History decimation: with HistoryEvery = k > 1, only every k-th state
+	// change is appended; the last skipped point is kept pending so the
+	// history always ends at the final state change regardless of k.
+	histEvery := cfg.HistoryEvery
+	if histEvery < 1 {
+		histEvery = 1
+	}
+	var (
+		changes    int
+		pending    RangePoint
+		pendingSet bool
+	)
 	recordRange := func(now float64) bool {
 		lo, hi := faultFreeRange(states, faultFree)
-		tr.History = append(tr.History, RangePoint{Time: now, Range: hi - lo})
-		if cfg.Epsilon > 0 && hi-lo <= cfg.Epsilon {
+		pt := RangePoint{Time: now, Range: hi - lo}
+		converged := cfg.Epsilon > 0 && pt.Range <= cfg.Epsilon
+		if changes%histEvery == 0 || converged {
+			tr.History = append(tr.History, pt)
+			pendingSet = false
+		} else {
+			pending, pendingSet = pt, true
+		}
+		changes++
+		if converged {
 			tr.Converged = true
 			return true
 		}
@@ -325,6 +357,11 @@ func Run(cfg Config) (*Trace, error) {
 	}
 	if runErr != nil {
 		return nil, runErr
+	}
+	if pendingSet {
+		// The run ended between decimation samples: append the final state
+		// change so History's last point matches the undecimated run's.
+		tr.History = append(tr.History, pending)
 	}
 
 	if !tr.Converged && tr.MinRound(faultFree) < cfg.MaxRounds {

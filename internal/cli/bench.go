@@ -212,6 +212,40 @@ func cmdBench(args []string, stdout io.Writer) error {
 		}
 		b.ReportMetric(float64(rounds)*float64(len(scens))*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 	})
+	// The same sweep fanned across GOMAXPROCS workers, one private engine
+	// per worker — the multi-core scenario path behind `sweep -workers`.
+	run("engine/scenarios8-workers/core_n16_f2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Sweep(engCfg, scens, sim.SweepOptions{Workers: 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Traces) != len(scens) {
+				b.Fatalf("traces = %d", len(res.Traces))
+			}
+		}
+		b.ReportMetric(float64(rounds)*float64(len(scens))*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+	})
+	// Both batching dimensions composed: 8 adversary scenarios, each
+	// recorded once on the matrix engine and replayed over 64 extra initial
+	// vectors. The metric counts replayed vector-rounds only, comparable to
+	// matrix-batch64.
+	run("engine/matrix-scenarios8-batch64/core_n16_f2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Sweep(engCfg, scens, sim.SweepOptions{
+				Engine: sim.Matrix{}, Workers: 0, Extras: extras,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Finals) != len(scens) {
+				b.Fatalf("finals = %d", len(res.Finals))
+			}
+		}
+		b.ReportMetric(float64(rounds)*float64(len(scens))*batch*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
+	})
 
 	ag, err := topology.Complete(7)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -57,13 +58,15 @@ func cmdRepair(args []string, stdin io.Reader, stdout io.Writer) error {
 // report condition verdict, α, and rounds-to-ε under a chosen adversary as
 // CSV — the raw series behind convergence-vs-size figures.
 //
-// With -scenarios K > 0 the sweep additionally replays each point's
-// recorded round structure (sim.Matrix.RunBatch) over K perturbed initial
-// vectors — a sensitivity column at amortized per-round cost instead of K
-// full re-simulations. With -adversaries a,b,c the sweep varies the other
-// batching dimension: every point is re-simulated under each listed
-// strategy through sim.RunScenarios, which shares the per-graph engine
-// setup across the whole batch, and the CSV gains one row per adversary.
+// With -adversaries a,b,c every point is re-simulated under each listed
+// strategy through sim.Sweep, which shares the per-graph engine setup
+// (pooled ScenarioRunners) across the batch; -engine selects which pooled
+// engine runs the scenarios and -workers fans them across cores (0 =
+// GOMAXPROCS). With -engine matrix, -batch K composes the second batching
+// dimension: each scenario's recorded round programs are replayed over K
+// perturbed initial vectors and the per-row scenario_final_range_max column
+// reports the worst final range across them. The legacy -scenarios K flag is
+// the single-config form of the same replay (base adversary only).
 func cmdSweep(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	family := fs.String("family", "core", "core|chord|complete|circulant")
@@ -76,16 +79,17 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	rounds := fs.Int("rounds", 100000, "round cap per point")
 	seed := fs.Int64("seed", 1, "seed for randomized pieces")
 	engineName := fs.String("engine", "sequential", "sequential|concurrent|matrix")
-	scenarios := fs.Int("scenarios", 0, "batched what-if initial vectors per point (matrix engine replay)")
+	scenarios := fs.Int("scenarios", 0, "batched what-if initial vectors per point (matrix engine replay of the base adversary)")
+	batch := fs.Int("batch", 0, "matrix-replay initial vectors per scenario row (composes with -adversaries; requires -engine matrix)")
+	workers := fs.Int("workers", 1, "parallel scenario workers per point (0 = GOMAXPROCS); scenarios run bit-identically at any worker count")
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	engine, err := engineByName(*engineName)
-	if err != nil {
 		return err
 	}
 	if *scenarios < 0 {
 		return fmt.Errorf("cli: negative scenarios %d", *scenarios)
+	}
+	if *batch < 0 {
+		return fmt.Errorf("cli: negative batch %d", *batch)
 	}
 	engineSet := false
 	fs.Visit(func(fl *flag.Flag) {
@@ -100,11 +104,28 @@ func cmdSweep(args []string, stdout io.Writer) error {
 			return fmt.Errorf("cli: -scenarios uses the matrix engine's batched replay; drop -engine %s or use -engine matrix", *engineName)
 		}
 		if *advList != "" {
-			return fmt.Errorf("cli: -scenarios (initial-vector replay) and -adversaries (scenario batch) are separate batching dimensions; use one per sweep")
+			return fmt.Errorf("cli: -scenarios (initial-vector replay) and -adversaries (scenario batch) are separate batching dimensions; use -batch to compose them")
 		}
+		if *batch > 0 {
+			return fmt.Errorf("cli: -scenarios and -batch are the same replay dimension; use -batch (per scenario row) or -scenarios (base config only), not both")
+		}
+		*engineName = "matrix"
 	}
-	if *advList != "" && engineSet && *engineName != "sequential" {
-		return fmt.Errorf("cli: -adversaries runs the batched sequential scenario engine; drop -engine %s", *engineName)
+	if *batch > 0 {
+		// -batch is the composed replay: it rides on the scenario sweep, so
+		// it needs the matrix engine. Auto-select it when -engine is unset.
+		if engineSet && *engineName != "matrix" {
+			return fmt.Errorf("cli: -batch replays recorded matrix programs; drop -engine %s or use -engine matrix", *engineName)
+		}
+		*engineName = "matrix"
+	}
+	engine, err := engineByName(*engineName)
+	if err != nil {
+		return err
+	}
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
 	}
 
 	var build func(n int) (*graph.Graph, error)
@@ -145,9 +166,41 @@ func cmdSweep(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	// The scenario-sweep path covers both multi-adversary batches and the
+	// composed -batch replay (which works on the single base adversary too).
+	useSweep := *advList != "" || *batch > 0
 	cw := csv.NewWriter(stdout)
-	if err := cw.Write([]string{"family", "n", "f", "adversary", "satisfied", "rounds_to_eps", "converged", "scenario_final_range_max"}); err != nil {
+	if err := cw.Write([]string{"family", "n", "f", "engine", "workers", "adversary", "satisfied", "rounds_to_eps", "converged", "scenario_final_range_max"}); err != nil {
 		return err
+	}
+	// maxFinalRange is the worst fault-free final range across a batch of
+	// replayed final-state vectors.
+	maxFinalRange := func(finals [][]float64, faultFree nodeset.Set) string {
+		maxRange := 0.0
+		for _, final := range finals {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			faultFree.ForEach(func(i int) bool {
+				lo = math.Min(lo, final[i])
+				hi = math.Max(hi, final[i])
+				return true
+			})
+			maxRange = math.Max(maxRange, hi-lo)
+		}
+		return strconv.FormatFloat(maxRange, 'e', 3, 64)
+	}
+	// perturbedInitials builds the replay vectors for one point, shared by
+	// the legacy -scenarios path and the composed -batch path.
+	perturbedInitials := func(n, k int) [][]float64 {
+		extras := make([][]float64, k)
+		rng := rand.New(rand.NewSource(*seed + int64(n)))
+		for x := range extras {
+			v := workload.Bimodal(n, 0, 1)
+			for i := range v {
+				v[i] += rng.Float64() * 0.5
+			}
+			extras[x] = v
+		}
+		return extras
 	}
 	for n := *from; n <= *to; n++ {
 		g, err := build(n)
@@ -167,45 +220,40 @@ func cmdSweep(args []string, stdout io.Writer) error {
 			MaxRounds: *rounds, Epsilon: *eps,
 		}
 		var traces []*sim.Trace
-		scenarioRange := ""
+		rowRanges := make([]string, len(advNames))
+		rowWorkers := 1
 		if chk.Satisfied {
 			switch {
 			case *scenarios > 0:
-				extras := make([][]float64, *scenarios)
-				rng := rand.New(rand.NewSource(*seed + int64(n)))
-				for x := range extras {
-					v := workload.Bimodal(n, 0, 1)
-					for i := range v {
-						v[i] += rng.Float64() * 0.5
-					}
-					extras[x] = v
-				}
-				tr, finals, err := sim.Matrix{}.RunBatch(cfg, extras)
+				tr, finals, err := sim.Matrix{}.RunBatch(cfg, perturbedInitials(n, *scenarios))
 				if err != nil {
 					return err
 				}
-				maxRange := 0.0
-				for _, final := range finals {
-					lo, hi := math.Inf(1), math.Inf(-1)
-					tr.FaultFree.ForEach(func(i int) bool {
-						lo = math.Min(lo, final[i])
-						hi = math.Max(hi, final[i])
-						return true
-					})
-					maxRange = math.Max(maxRange, hi-lo)
-				}
-				scenarioRange = strconv.FormatFloat(maxRange, 'e', 3, 64)
+				rowRanges[0] = maxFinalRange(finals, tr.FaultFree)
 				traces = []*sim.Trace{tr}
-			case len(strats) > 1:
-				// One shared engine setup per point, re-simulated under
-				// every listed adversary.
+			case useSweep:
+				// One pooled engine setup per worker per point, re-simulated
+				// under every listed adversary; with -batch each scenario's
+				// recorded programs also replay the perturbed initials.
 				scens := make([]sim.Scenario, len(strats))
 				for i, s := range strats {
 					scens[i] = sim.Scenario{Name: advNames[i], Adversary: s}
 				}
-				if traces, err = sim.RunScenarios(cfg, scens); err != nil {
+				opts := sim.SweepOptions{Engine: engine, Workers: *workers}
+				if *batch > 0 {
+					opts.Extras = perturbedInitials(n, *batch)
+				}
+				res, err := sim.Sweep(cfg, scens, opts)
+				if err != nil {
 					return err
 				}
+				traces = res.Traces
+				for i := range res.Finals {
+					rowRanges[i] = maxFinalRange(res.Finals[i], traces[i].FaultFree)
+				}
+				// Report what actually ran: Sweep never spins up more
+				// workers than there are scenarios.
+				rowWorkers = min(effWorkers, len(scens))
 			default:
 				tr, err := engine.Run(cfg)
 				if err != nil {
@@ -215,11 +263,12 @@ func cmdSweep(args []string, stdout io.Writer) error {
 			}
 		}
 		for i, name := range advNames {
-			row := []string{*family, strconv.Itoa(n), strconv.Itoa(*f), name,
-				strconv.FormatBool(chk.Satisfied), "", "", scenarioRange}
+			row := []string{*family, strconv.Itoa(n), strconv.Itoa(*f),
+				engine.Name(), strconv.Itoa(rowWorkers), name,
+				strconv.FormatBool(chk.Satisfied), "", "", rowRanges[i]}
 			if i < len(traces) {
-				row[5] = strconv.Itoa(traces[i].Rounds)
-				row[6] = strconv.FormatBool(traces[i].Converged)
+				row[7] = strconv.Itoa(traces[i].Rounds)
+				row[8] = strconv.FormatBool(traces[i].Converged)
 			}
 			if err := cw.Write(row); err != nil {
 				return err

@@ -49,7 +49,7 @@ func TestSweepCore(t *testing.T) {
 		t.Fatalf("exit = %d, stderr = %q", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if lines[0] != "family,n,f,adversary,satisfied,rounds_to_eps,converged,scenario_final_range_max" {
+	if lines[0] != "family,n,f,engine,workers,adversary,satisfied,rounds_to_eps,converged,scenario_final_range_max" {
 		t.Fatalf("header = %q", lines[0])
 	}
 	if len(lines) != 4 { // n = 4, 5, 6
@@ -79,10 +79,13 @@ func TestSweepAdversaryBatch(t *testing.T) {
 		found := 0
 		for _, line := range lines[1:] {
 			cols := strings.Split(line, ",")
-			if cols[3] == name {
+			if cols[5] == name {
 				found++
-				if cols[6] != "true" {
+				if cols[8] != "true" {
 					t.Errorf("%s row did not converge: %q", name, line)
+				}
+				if cols[3] != "sequential" || cols[4] != "1" {
+					t.Errorf("engine/workers columns wrong: %q", line)
 				}
 			}
 		}
@@ -92,14 +95,93 @@ func TestSweepAdversaryBatch(t *testing.T) {
 	}
 }
 
+// TestSweepWorkersAndEngines drives the scenario batch through every pooled
+// engine and a parallel worker count; rows must converge identically.
+func TestSweepWorkersAndEngines(t *testing.T) {
+	var ref string
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"sequential-w1", nil},
+		{"sequential-w4", []string{"-workers", "4"}},
+		{"sequential-auto", []string{"-workers", "0"}},
+		{"concurrent", []string{"-engine", "concurrent"}},
+		{"matrix", []string{"-engine", "matrix"}},
+		{"matrix-w4", []string{"-engine", "matrix", "-workers", "4"}},
+	} {
+		args := append([]string{"sweep", "-family", "core", "-f", "1", "-to", "5",
+			"-rounds", "5000", "-adversaries", "extremes,hug-high,insider-high"}, tc.args...)
+		code, stdout, stderr := run(t, "", args...)
+		if code != 0 {
+			t.Fatalf("%s: exit = %d, stderr = %q", tc.name, code, stderr)
+		}
+		lines := strings.Split(strings.TrimSpace(stdout), "\n")
+		if len(lines) != 7 { // header + (n=4,5) × 3 adversaries
+			t.Fatalf("%s: rows = %d, want 7:\n%s", tc.name, len(lines), stdout)
+		}
+		// rounds_to_eps/converged must agree across engines and worker
+		// counts (bit-identical traces): compare rows minus the
+		// engine/workers columns.
+		var canon []string
+		for _, line := range lines[1:] {
+			cols := strings.Split(line, ",")
+			canon = append(canon, strings.Join(append(cols[:3:3], cols[5:]...), ","))
+		}
+		joined := strings.Join(canon, "\n")
+		if ref == "" {
+			ref = joined
+		} else if joined != ref {
+			t.Errorf("%s: results differ from reference:\n%s\nvs\n%s", tc.name, joined, ref)
+		}
+	}
+}
+
+// TestSweepComposedBatch covers -batch: matrix-replay vectors per scenario
+// row, composing with -adversaries.
+func TestSweepComposedBatch(t *testing.T) {
+	code, stdout, stderr := run(t, "", "sweep", "-family", "core", "-f", "1", "-to", "5",
+		"-rounds", "5000", "-adversaries", "extremes,hug-high", "-batch", "4", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 5 { // header + (n=4,5) × 2 adversaries
+		t.Fatalf("rows = %d, want 5:\n%s", len(lines), stdout)
+	}
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if cols[3] != "matrix" {
+			t.Errorf("-batch must auto-select the matrix engine: %q", line)
+		}
+		if cols[9] == "" {
+			t.Errorf("per-row scenario range missing: %q", line)
+		}
+	}
+	// -batch alone (no -adversaries) replays the base adversary's scenario.
+	code, stdout, stderr = run(t, "", "sweep", "-family", "core", "-f", "1", "-to", "4",
+		"-rounds", "5000", "-batch", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	lines = strings.Split(strings.TrimSpace(stdout), "\n")
+	if cols := strings.Split(lines[1], ","); cols[9] == "" || cols[3] != "matrix" {
+		t.Errorf("solo -batch row malformed: %q", lines[1])
+	}
+}
+
 func TestSweepAdversariesFlagConflicts(t *testing.T) {
 	code, _, stderr := run(t, "", "sweep", "-family", "core", "-adversaries", "extremes,hug-high", "-scenarios", "2")
 	if code != 1 || !strings.Contains(stderr, "batching") {
 		t.Errorf("-adversaries with -scenarios should be rejected: code=%d stderr=%q", code, stderr)
 	}
-	code, _, stderr = run(t, "", "sweep", "-family", "core", "-adversaries", "extremes,hug-high", "-engine", "matrix")
-	if code != 1 || !strings.Contains(stderr, "sequential") {
-		t.Errorf("-adversaries with -engine matrix should be rejected: code=%d stderr=%q", code, stderr)
+	code, _, stderr = run(t, "", "sweep", "-family", "core", "-scenarios", "2", "-batch", "2")
+	if code != 1 || !strings.Contains(stderr, "-batch") {
+		t.Errorf("-scenarios with -batch should be rejected: code=%d stderr=%q", code, stderr)
+	}
+	code, _, stderr = run(t, "", "sweep", "-family", "core", "-batch", "2", "-engine", "concurrent")
+	if code != 1 || !strings.Contains(stderr, "matrix") {
+		t.Errorf("-batch with a non-matrix engine should be rejected: code=%d stderr=%q", code, stderr)
 	}
 	code, _, _ = run(t, "", "sweep", "-family", "core", "-adversaries", "extremes,warp-core")
 	if code != 1 {
@@ -116,8 +198,11 @@ func TestSweepMatrixScenarios(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
 	for _, line := range lines[1:] {
 		cols := strings.Split(line, ",")
-		if len(cols) != 8 || cols[7] == "" {
+		if len(cols) != 10 || cols[9] == "" {
 			t.Errorf("scenario column missing in %q", line)
+		}
+		if cols[3] != "matrix" {
+			t.Errorf("-scenarios engine column should be matrix: %q", line)
 		}
 	}
 }
@@ -146,7 +231,7 @@ func TestSweepChordShowsViolations(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
-	if !strings.Contains(stdout, "chord,7,2,extremes,false") {
+	if !strings.Contains(stdout, "chord,7,2,sequential,1,extremes,false") {
 		t.Errorf("chord(7,2) should report false: %q", stdout)
 	}
 }

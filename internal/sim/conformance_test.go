@@ -101,9 +101,9 @@ func conformanceScenarios() []confScenario {
 		},
 		confScenario{
 			name: "core10f3/insider-high", build: core103, f: 3, faulty: []int{0, 1, 2},
-			rule: core.TrimmedMean{},
+			rule:    core.TrimmedMean{},
 			makeAdv: func() adversary.Strategy { return &adversary.Insider{High: true} },
-			rounds: 60, epsilon: 1e-9,
+			rounds:  60, epsilon: 1e-9,
 		},
 		confScenario{
 			name: "core10f3/noise", build: core103, f: 3, faulty: []int{0, 4, 9},
@@ -226,6 +226,24 @@ func TestCrossEngineConformance(t *testing.T) {
 			if sc.makeAdv == nil || !consumesRng(sc.makeAdv()) {
 				assertTracesEqual(t, "scenarios[0]", ref, traces[0])
 				assertTracesEqual(t, "scenarios[1]", ref, traces[1])
+
+				// The pooled runners behind Sweep must agree for every
+				// engine: the second slot reuses the pooled state (node
+				// goroutines, matrix scratch), catching stale-state bugs.
+				sweepEngines := []Engine{Concurrent{}}
+				if affine {
+					sweepEngines = append(sweepEngines, Matrix{})
+				}
+				for _, eng := range sweepEngines {
+					res, err := Sweep(sc.buildConfig(t, false),
+						[]Scenario{{Name: "a"}, {Name: "b"}},
+						SweepOptions{Engine: eng, Workers: 1})
+					if err != nil {
+						t.Fatalf("Sweep/%s: %v", eng.Name(), err)
+					}
+					assertTracesEqual(t, "sweep/"+eng.Name()+"[0]", ref, res.Traces[0])
+					assertTracesEqual(t, "sweep/"+eng.Name()+"[1]", ref, res.Traces[1])
+				}
 			}
 		})
 	}

@@ -6,6 +6,8 @@ import (
 
 	"iabc/internal/adversary"
 	"iabc/internal/core"
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
 )
 
 // Matrix is the batched engine built on the matrix representation of
@@ -109,6 +111,101 @@ func (Matrix) Run(cfg Config) (*Trace, error) {
 	return tr, err
 }
 
+// newRunner builds the matrix engine's pooled runner for scenario sweeps:
+// the plane, receive buffer, survivor mask, and recorded-program storage are
+// all reused across scenarios, and replay buffers are kept warm for the
+// composed Extras dimension.
+func (Matrix) newRunner(g *graph.Graph) ScenarioRunner {
+	return &matrixRunner{g: g, st: newMatrixScratch(g)}
+}
+
+// matrixRunner implements ScenarioRunner and batchRunner over a
+// matrixScratch.
+type matrixRunner struct {
+	g    *graph.Graph
+	st   *matrixScratch
+	bufs replayBufs
+}
+
+func (r *matrixRunner) RunScenario(cfg *Config) (*Trace, error) {
+	if cfg.G != r.g {
+		return nil, errors.New("sim: scenario config graph differs from the runner's graph")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, _, err := runMatrixOn(r.st, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	return &tr.Trace, nil
+}
+
+// runBatchScenario records the scenario's round programs, replays them over
+// the extra initial vectors, and recycles the program storage for the next
+// scenario.
+func (r *matrixRunner) runBatchScenario(cfg *Config, extras [][]float64) (*Trace, [][]float64, error) {
+	if cfg.G != r.g {
+		return nil, nil, errors.New("sim: scenario config graph differs from the runner's graph")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	tr, progs, err := runMatrixOn(r.st, cfg, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	finals := replayPrograms(progs, extras, r.g.N(), &r.bufs)
+	r.st.recycle(progs)
+	return &tr.Trace, finals, nil
+}
+
+func (r *matrixRunner) Close() {}
+
+// replayBufs holds the structure-of-arrays replay state (cur/nxt ping-pong
+// planes and the K-wide accumulator) so repeated replays do not reallocate.
+type replayBufs struct {
+	cur, nxt, acc []float64
+}
+
+// replayPrograms replays the recorded program sequence over every extra
+// initial vector in SoA layout and returns the per-vector final states,
+// index-aligned with extras. Results are bit-identical to replaying the
+// vectors one at a time (see applyBatch).
+func replayPrograms(progs []*roundProgram, extras [][]float64, n int, bufs *replayBufs) [][]float64 {
+	K := len(extras)
+	finals := make([][]float64, K)
+	if K == 0 {
+		return finals
+	}
+	if cap(bufs.cur) < n*K {
+		bufs.cur = make([]float64, n*K)
+		bufs.nxt = make([]float64, n*K)
+	}
+	if cap(bufs.acc) < K {
+		bufs.acc = make([]float64, K)
+	}
+	// Transpose extras into SoA: cur[i*K+x] = extras[x][i].
+	cur, nxt, acc := bufs.cur[:n*K], bufs.nxt[:n*K], bufs.acc[:K]
+	for x, init := range extras {
+		for i, v := range init {
+			cur[i*K+x] = v
+		}
+	}
+	for _, pr := range progs {
+		pr.applyBatch(cur, nxt, K, acc)
+		cur, nxt = nxt, cur
+	}
+	for x := range finals {
+		final := make([]float64, n)
+		for i := range final {
+			final[i] = cur[i*K+x]
+		}
+		finals[x] = final
+	}
+	return finals
+}
+
 // RunBatch executes cfg once (the primary run), recording each round's
 // transition program, then replays the same program sequence over every
 // extra initial vector. It returns the primary trace and, index-aligned
@@ -138,41 +235,70 @@ func (Matrix) RunBatch(cfg Config, extras [][]float64) (*Trace, [][]float64, err
 	if err != nil {
 		return nil, nil, err
 	}
-	K := len(extras)
-	finals := make([][]float64, K)
-	if K == 0 {
-		return tr, finals, nil
-	}
-	// Transpose extras into SoA: cur[i*K+x] = extras[x][i].
-	cur := make([]float64, n*K)
-	nxt := make([]float64, n*K)
-	for x, init := range extras {
-		for i, v := range init {
-			cur[i*K+x] = v
-		}
-	}
-	acc := make([]float64, K)
-	for _, pr := range progs {
-		pr.applyBatch(cur, nxt, K, acc)
-		cur, nxt = nxt, cur
-	}
-	for x := range finals {
-		final := make([]float64, n)
-		for i := range final {
-			final[i] = cur[i*K+x]
-		}
-		finals[x] = final
-	}
-	return tr, finals, nil
+	var bufs replayBufs
+	return tr, replayPrograms(progs, extras, n, &bufs), nil
 }
 
-// runMatrix is the shared primary loop. When keep is true every round's
-// program is retained for replay; otherwise two programs are ping-ponged to
-// keep the run allocation-light.
+// matrixScratch bundles the reusable per-graph state behind matrix runs: the
+// source-tracking plane, receive buffer, survivor mask, frozen flags, and a
+// free list of round programs recycled across recorded scenarios.
+type matrixScratch struct {
+	g      *graph.Graph
+	p      *edgePlane
+	recv   []core.ValueFrom
+	mask   []bool
+	frozen []bool
+	pool   []*roundProgram
+}
+
+func newMatrixScratch(g *graph.Graph) *matrixScratch {
+	n := g.N()
+	p := newEdgePlane(g, nodeset.New(n), true)
+	return &matrixScratch{
+		g:      g,
+		p:      p,
+		recv:   newRecvPlane(p),
+		mask:   make([]bool, p.inOff[n]),
+		frozen: make([]bool, n),
+	}
+}
+
+// takeProgram hands out a program, preferring the free list so term-slice
+// capacity survives across rounds and scenarios.
+func (st *matrixScratch) takeProgram() *roundProgram {
+	if k := len(st.pool); k > 0 {
+		pr := st.pool[k-1]
+		st.pool = st.pool[:k-1]
+		return pr
+	}
+	n := st.p.n
+	return &roundProgram{terms: make([][]rowTerm, n), weight: make([]float64, n)}
+}
+
+// recycle returns recorded programs to the free list once their replay is
+// done.
+func (st *matrixScratch) recycle(progs []*roundProgram) {
+	st.pool = append(st.pool, progs...)
+}
+
+// runMatrix is the single-run entry: validate, build fresh scratch, run.
 func runMatrix(cfg Config, keep bool) (*Trace, []*roundProgram, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	tr, progs, err := runMatrixOn(newMatrixScratch(cfg.G), &cfg, keep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &tr.Trace, progs, nil
+}
+
+// runMatrixOn is the shared primary loop over reusable scratch state. When
+// keep is true every round's program is retained (and returned) for replay;
+// otherwise a single program is rebuilt in place each round to keep the run
+// allocation-light. The config must already be validated and its graph must
+// match the scratch's.
+func runMatrixOn(st *matrixScratch, cfg *Config, keep bool) (*tracer, []*roundProgram, error) {
 	var trimF int // f used for trimming; -1 marks the Mean rule
 	switch cfg.Rule.(type) {
 	case core.TrimmedMean:
@@ -183,17 +309,18 @@ func runMatrix(cfg Config, keep bool) (*Trace, []*roundProgram, error) {
 		return nil, nil, fmt.Errorf("sim: matrix engine requires an affine-representable rule (core.TrimmedMean or core.Mean), got %s", cfg.Rule.Name())
 	}
 
-	n := cfg.G.N()
+	n := st.p.n
 	faulty := cfg.faulty()
 	faultFree := faulty.Complement()
+	st.p.setFaulty(faulty)
 
 	states := snapshot(cfg.Initial)
 	next := make([]float64, n)
-	tr := newTrace(&cfg, states, faultFree)
-	p := newEdgePlane(cfg.G, faulty, true)
+	tr := newTrace(cfg, states, faultFree)
+	p := st.p
 
-	recv := newRecvPlane(p)
-	mask := make([]bool, p.inOff[n])
+	recv := st.recv
+	mask := st.mask
 	var scratch core.Scratch
 	hasAdv := cfg.Adversary != nil && len(p.faulty) > 0
 	var ew adversary.EdgeWriter
@@ -204,33 +331,38 @@ func runMatrix(cfg Config, keep bool) (*Trace, []*roundProgram, error) {
 	// frozen[i]: the update is statically undefined for node i's in-degree
 	// (only possible for faulty nodes — Validate rejects it for fault-free
 	// ones); the row stays the identity, matching Sequential's freeze.
-	frozen := make([]bool, n)
+	frozen := st.frozen
 	for i := 0; i < n; i++ {
 		frozen[i] = cfg.Rule.Validate(cfg.G.InDegree(i), cfg.F) != nil
 	}
 
 	var progs []*roundProgram
-	var spare [2]*roundProgram
-	newProgram := func(round int) *roundProgram {
+	var spare *roundProgram
+	newProgram := func() *roundProgram {
 		if keep {
-			pr := &roundProgram{terms: make([][]rowTerm, n), weight: make([]float64, n)}
+			pr := st.takeProgram()
 			progs = append(progs, pr)
 			return pr
 		}
-		pr := spare[round%2]
-		if pr == nil {
-			pr = &roundProgram{terms: make([][]rowTerm, n), weight: make([]float64, n)}
-			spare[round%2] = pr
+		// The program is applied before the next round rebuilds it, so one
+		// rebuilt-in-place program suffices.
+		if spare == nil {
+			spare = st.takeProgram()
 		}
-		return pr
+		return spare
 	}
+	defer func() {
+		if spare != nil {
+			st.recycle([]*roundProgram{spare})
+		}
+	}()
 
 	for round := 1; round <= cfg.MaxRounds && !tr.Converged; round++ {
 		p.fill(states)
 		if hasAdv {
-			p.applyAdversary(cfg.Adversary, ew, roundView(&cfg, round, states, faultFree, faulty))
+			p.applyAdversary(cfg.Adversary, ew, roundView(cfg, round, states, faultFree, faulty))
 		}
-		pr := newProgram(round)
+		pr := newProgram()
 		for i := 0; i < n; i++ {
 			lo, hi := p.inOff[i], p.inOff[i+1]
 			if frozen[i] {
@@ -271,10 +403,10 @@ func runMatrix(cfg Config, keep bool) (*Trace, []*roundProgram, error) {
 		pr.apply(states, next)
 		states, next = next, states
 
-		if done := tr.record(&cfg, round, states, faultFree); done {
+		if done := tr.record(cfg, round, states, faultFree); done {
 			break
 		}
 	}
 	tr.finish(states)
-	return &tr.Trace, progs, nil
+	return tr, progs, nil
 }

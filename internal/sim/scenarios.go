@@ -2,8 +2,13 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"iabc/internal/adversary"
+	"iabc/internal/core"
+	"iabc/internal/graph"
 	"iabc/internal/nodeset"
 )
 
@@ -17,8 +22,14 @@ type Scenario struct {
 	Adversary adversary.Strategy
 	// Initial overrides base.Initial when non-nil (length must be n).
 	Initial []float64
-	// Faulty overrides base.Faulty when non-empty-capacity.
+	// Faulty overrides base.Faulty when it has non-zero capacity: any set
+	// built with nodeset.New(n) — including an empty one — is an override.
+	// A zero-value Set keeps the base fault set unless HasFaulty is set.
 	Faulty nodeset.Set
+	// HasFaulty forces the Faulty override even when Faulty is a zero-value
+	// set, so a scenario can reset the base to fault-free without having to
+	// construct a sized empty set.
+	HasFaulty bool
 }
 
 // apply merges the scenario's overrides into a copy of base.
@@ -30,25 +41,119 @@ func (s *Scenario) apply(base Config) Config {
 	if s.Initial != nil {
 		cfg.Initial = s.Initial
 	}
-	if s.Faulty.Cap() != 0 {
+	if s.HasFaulty || s.Faulty.Cap() != 0 {
 		cfg.Faulty = s.Faulty
 	}
 	return cfg
 }
 
-// RunScenarios executes base once per scenario on the sequential round loop,
-// amortizing the graph-dependent setup — edge-plane geometry (the O(m log d)
-// reverse index), receive buffers — across the whole batch. This is the
-// engine-level companion of Matrix.RunBatch: RunBatch replays one recorded
-// execution over many initial vectors, while RunScenarios re-simulates under
-// different adversaries (or fault sets or initial vectors), the sweep
-// dimension the matrix replay cannot vary.
+// ScenarioRunner is a reusable engine instance for scenario sweeps: it is
+// constructed once per worker for one graph, and then executes many derived
+// configs over the same pooled state (edge planes, receive buffers, node
+// goroutines), amortizing the per-run setup across the whole sweep.
 //
-// Traces are index-aligned with scenarios and bit-identical to what
-// Sequential.Run would produce for each derived config.
-func RunScenarios(base Config, scenarios []Scenario) ([]*Trace, error) {
+// RunScenario validates the config; the config's graph must be the exact
+// *graph.Graph the runner was built for. Close releases pooled resources
+// (node goroutines for the concurrent pool); the runner must not be used
+// afterwards.
+type ScenarioRunner interface {
+	RunScenario(cfg *Config) (*Trace, error)
+	Close()
+}
+
+// runnerFactory is implemented by engines that provide a pooled runner.
+type runnerFactory interface {
+	newRunner(g *graph.Graph) ScenarioRunner
+}
+
+// batchRunner extends ScenarioRunner with recorded-program replay over extra
+// initial vectors (the Matrix engine's second batching dimension).
+type batchRunner interface {
+	ScenarioRunner
+	runBatchScenario(cfg *Config, extras [][]float64) (*Trace, [][]float64, error)
+}
+
+// NewScenarioRunner returns a reusable runner for engine over g. Sequential,
+// Concurrent (a node pool, see NewConcurrentPool), and Matrix provide pooled
+// implementations; any other engine falls back to a fresh Run per scenario.
+// A nil engine selects Sequential.
+func NewScenarioRunner(engine Engine, g *graph.Graph) ScenarioRunner {
+	if engine == nil {
+		engine = Sequential{}
+	}
+	if f, ok := engine.(runnerFactory); ok {
+		return f.newRunner(g)
+	}
+	return genericRunner{engine}
+}
+
+// genericRunner adapts any Engine to ScenarioRunner with no state reuse.
+type genericRunner struct{ e Engine }
+
+func (r genericRunner) RunScenario(cfg *Config) (*Trace, error) { return r.e.Run(*cfg) }
+func (r genericRunner) Close()                                  {}
+
+// SweepOptions configures Sweep.
+type SweepOptions struct {
+	// Engine selects the per-scenario engine; nil defaults to Sequential.
+	// Sequential, Concurrent, and Matrix all run through pooled
+	// ScenarioRunners (one per worker).
+	Engine Engine
+	// Workers fans scenarios across goroutines, one private runner (and
+	// message plane) each; scenarios are independent, so the sweep scales
+	// with cores. Workers ≤ 0 selects GOMAXPROCS (matching
+	// condition.CheckParallel); 1 is the sequential sweep. Results are
+	// bit-identical for any worker count provided scenarios do not share
+	// mutable adversary state (see the Sweep doc comment).
+	Workers int
+	// Extras, when non-empty, composes the two batching dimensions: each
+	// scenario's recorded round-program sequence is additionally replayed
+	// over these K initial vectors (structure-of-arrays, see
+	// Matrix.RunBatch) and the per-vector final states are returned in
+	// SweepResult.Finals. Requires the Matrix engine. Every vector must
+	// have length n.
+	Extras [][]float64
+}
+
+// SweepResult is the output of Sweep, index-aligned with the scenarios.
+type SweepResult struct {
+	// Traces[i] is scenario i's trace, bit-identical to what the selected
+	// engine's Run would produce for the derived config.
+	Traces []*Trace
+	// Finals[i][x] is the final state vector of Extras[x] replayed through
+	// scenario i's recorded round programs; nil when Extras was empty.
+	Finals [][][]float64
+}
+
+// Sweep executes base once per scenario, amortizing the graph-dependent
+// engine setup across the batch and, with Workers > 1, fanning the
+// independent scenarios out across worker goroutines — each worker owns a
+// private ScenarioRunner, so no simulation state is shared.
+//
+// With the Matrix engine and non-empty Extras the two batching dimensions
+// compose: each scenario's primary run records one round program per round,
+// and the whole program sequence is then SoA-replayed over the K extra
+// initial vectors at a few flops per edge per vector.
+//
+// Error contract: every derived config is validated up front (fail fast,
+// nothing simulated); any error — validation or mid-sweep — is wrapped with
+// the scenario's index and name, and the returned SweepResult is nil: Sweep
+// never hands back a partially filled sweep. With Workers > 1 and multiple
+// failing scenarios, the error reported is the failure with the lowest index
+// among those executed.
+//
+// Concurrency contract: with Workers > 1 different scenarios run on
+// different goroutines, so scenarios must not share mutable adversary state
+// (a *RandomNoise rng, an *Insider scratch) — give each scenario its own
+// strategy instance. Stateless built-ins (Hug, Extremes, Fixed, Silent,
+// Conforming, PartitionAttack) are safe to share.
+func Sweep(base Config, scenarios []Scenario, opts SweepOptions) (*SweepResult, error) {
 	if len(scenarios) == 0 {
-		return nil, nil
+		return &SweepResult{}, nil
+	}
+	engine := opts.Engine
+	if engine == nil {
+		engine = Sequential{}
 	}
 	// Validate every derived config up front so a bad scenario fails fast
 	// instead of after its predecessors' simulation time.
@@ -59,18 +164,117 @@ func RunScenarios(base Config, scenarios []Scenario) ([]*Trace, error) {
 			return nil, fmt.Errorf("sim: scenario %d (%s): %w", i, scenarioName(&scenarios[i]), err)
 		}
 	}
-	p := newEdgePlane(base.G, cfgs[0].faulty(), false)
-	recv := newRecvPlane(p)
-	traces := make([]*Trace, len(scenarios))
-	for i := range cfgs {
-		p.setFaulty(cfgs[i].faulty())
-		tr, err := runSequential(&cfgs[i], p, recv)
-		if err != nil {
-			return nil, fmt.Errorf("sim: scenario %d (%s): %w", i, scenarioName(&scenarios[i]), err)
+	if len(opts.Extras) > 0 {
+		if _, ok := engine.(Matrix); !ok {
+			return nil, fmt.Errorf("sim: Extras replay requires the Matrix engine, got %s", engine.Name())
 		}
-		traces[i] = &tr.Trace
+		n := base.G.N()
+		for x, init := range opts.Extras {
+			if len(init) != n {
+				return nil, fmt.Errorf("sim: extra initial %d has length %d, want n = %d", x, len(init), n)
+			}
+		}
 	}
-	return traces, nil
+
+	res := &SweepResult{Traces: make([]*Trace, len(scenarios))}
+	if len(opts.Extras) > 0 {
+		res.Finals = make([][][]float64, len(scenarios))
+	}
+	// runOne executes scenario i on runner r; each index is written by
+	// exactly one worker, so result slots need no locking.
+	runOne := func(r ScenarioRunner, i int) error {
+		var (
+			tr     *Trace
+			finals [][]float64
+			err    error
+		)
+		if res.Finals != nil {
+			tr, finals, err = r.(batchRunner).runBatchScenario(&cfgs[i], opts.Extras)
+		} else {
+			tr, err = r.RunScenario(&cfgs[i])
+		}
+		if err != nil {
+			return fmt.Errorf("sim: scenario %d (%s): %w", i, scenarioName(&scenarios[i]), err)
+		}
+		res.Traces[i] = tr
+		if res.Finals != nil {
+			res.Finals[i] = finals
+		}
+		return nil
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers == 1 {
+		r := NewScenarioRunner(engine, base.G)
+		defer r.Close()
+		for i := range cfgs {
+			if err := runOne(r, i); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = len(scenarios)
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			r := NewScenarioRunner(engine, base.G)
+			defer r.Close()
+			for !failed.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= len(cfgs) {
+					return
+				}
+				if err := runOne(r, i); err != nil {
+					mu.Lock()
+					if firstErr == nil || i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// RunScenarios executes base once per scenario on the sequential round loop,
+// amortizing the engine setup — edge-plane geometry (the O(m log d) reverse
+// index), receive buffers — across the whole batch. It is Sweep with the
+// default engine and a single worker; use Sweep directly for multi-core
+// sweeps, other engines, or the composed matrix-replay dimension.
+//
+// Traces are index-aligned with scenarios and bit-identical to what
+// Sequential.Run would produce for each derived config. On any error the
+// returned trace slice is nil (never a partial prefix) and the error names
+// the failing scenario's index and name.
+func RunScenarios(base Config, scenarios []Scenario) ([]*Trace, error) {
+	res, err := Sweep(base, scenarios, SweepOptions{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	return res.Traces, nil
 }
 
 // scenarioName resolves the label used in errors and reports.
@@ -83,3 +287,34 @@ func scenarioName(s *Scenario) string {
 	}
 	return "base"
 }
+
+// newRunner builds the sequential engine's pooled runner.
+func (Sequential) newRunner(g *graph.Graph) ScenarioRunner {
+	p := newEdgePlane(g, nodeset.New(g.N()), false)
+	return &sequentialRunner{g: g, p: p, recv: newRecvPlane(p)}
+}
+
+// sequentialRunner reuses one edge plane and receive buffer across
+// scenarios — the sequential engine's pooled form.
+type sequentialRunner struct {
+	g    *graph.Graph
+	p    *edgePlane
+	recv []core.ValueFrom
+}
+
+func (r *sequentialRunner) RunScenario(cfg *Config) (*Trace, error) {
+	if cfg.G != r.g {
+		return nil, fmt.Errorf("sim: scenario config graph differs from the runner's graph")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r.p.setFaulty(cfg.faulty())
+	tr, err := runSequential(cfg, r.p, r.recv)
+	if err != nil {
+		return nil, err
+	}
+	return &tr.Trace, nil
+}
+
+func (r *sequentialRunner) Close() {}
