@@ -73,6 +73,19 @@
 //     the preallocated window allocate.
 //  4. Determinism. Given identical configs (and seeds for randomized
 //     strategies), every engine produces identical traces across runs.
+//  5. Pruning soundness. The exact checker's degree lower bound can never
+//     skip a real witness: a node of an insulated set X has at most |X|−1
+//     in-neighbors inside X (the graph type rejects self-loops), so
+//     insulation forces base(v) ≤ threshold + |X| − 2 for every member —
+//     any node above that bound is excluded from size-|X| candidates with
+//     its whole combination subtree. Every insulated set therefore
+//     consists solely of admitted nodes, surviving candidates keep the
+//     full enumeration's relative order, and condition.Check returns a
+//     bit-identical Satisfied verdict and Witness with or without pruning
+//     (and with or without the empty-complement memo, which only skips
+//     peels whose emptiness is implied by a memoized subset). Enforced by
+//     the property tests in internal/condition/prune_test.go and the
+//     E14 cross-validation against condition.CheckViaReducedGraphs.
 //
 // bench_test.go in this directory hosts the benchmark harness: one
 // Benchmark per experiment plus micro-benchmarks for the hot paths; `iabc

@@ -1,0 +1,186 @@
+package iabc_test
+
+// Docs-vs-tree consistency: every Go symbol README.md and docs/THEORY.md
+// name in backticks must resolve in this repository, so refactors cannot
+// silently strand the documentation. The CI docs job runs this test
+// explicitly; it also runs under plain `go test ./...`.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// symbolIndex records what the tree declares.
+type symbolIndex struct {
+	// packages maps package name → set of exported top-level identifiers
+	// (types, funcs, consts, vars).
+	packages map[string]map[string]bool
+	// members maps type name → set of exported methods (incl. interface
+	// methods) and struct field names, across all packages.
+	members map[string]map[string]bool
+}
+
+func buildSymbolIndex(t *testing.T, root string) *symbolIndex {
+	t.Helper()
+	idx := &symbolIndex{
+		packages: map[string]map[string]bool{},
+		members:  map[string]map[string]bool{},
+	}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == ".github" || name == "docs" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		pkg := strings.TrimSuffix(file.Name.Name, "_test")
+		decls := idx.packages[pkg]
+		if decls == nil {
+			decls = map[string]bool{}
+			idx.packages[pkg] = decls
+		}
+		addMember := func(typeName, member string) {
+			if !ast.IsExported(member) {
+				return
+			}
+			if idx.members[typeName] == nil {
+				idx.members[typeName] = map[string]bool{}
+			}
+			idx.members[typeName][member] = true
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					decls[d.Name.Name] = true
+					continue
+				}
+				if typ := receiverTypeName(d.Recv); typ != "" {
+					addMember(typ, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						decls[s.Name.Name] = true
+						switch tt := s.Type.(type) {
+						case *ast.StructType:
+							for _, f := range tt.Fields.List {
+								for _, n := range f.Names {
+									addMember(s.Name.Name, n.Name)
+								}
+							}
+						case *ast.InterfaceType:
+							for _, m := range tt.Methods.List {
+								for _, n := range m.Names {
+									addMember(s.Name.Name, n.Name)
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							decls[n.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("indexing tree: %v", err)
+	}
+	return idx
+}
+
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	typ := recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+var (
+	backtickSpan = regexp.MustCompile("`([^`]+)`")
+	qualifiedRef = regexp.MustCompile(`\b([A-Za-z][A-Za-z0-9]*)\.([A-Z][A-Za-z0-9]*)(?:\.([A-Za-z][A-Za-z0-9]*))?`)
+)
+
+// TestDocsSymbolsResolve greps README.md and docs/THEORY.md for
+// backtick-quoted qualified references — pkg.Symbol, pkg.Type.Member, and
+// Type.Member — and fails on any that no longer resolve in the tree.
+func TestDocsSymbolsResolve(t *testing.T) {
+	idx := buildSymbolIndex(t, ".")
+	for _, doc := range []string{"README.md", filepath.Join("docs", "THEORY.md")} {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		for _, span := range backtickSpan.FindAllStringSubmatch(string(data), -1) {
+			for _, ref := range qualifiedRef.FindAllStringSubmatch(span[1], -1) {
+				first, second, third := ref[1], ref[2], ref[3]
+				if ast.IsExported(first) {
+					// Type.Member (e.g. `Witness.Verify`): some type in the
+					// tree must carry the member.
+					if !idx.members[first][second] {
+						t.Errorf("%s: `%s` names member %s.%s, which no type in the tree declares",
+							doc, ref[0], first, second)
+					}
+					continue
+				}
+				decls, known := idx.packages[first]
+				if !known {
+					continue // not a package of this repo (e.g. stdlib, file names)
+				}
+				if !decls[second] {
+					t.Errorf("%s: `%s` names %s.%s, which package %s does not declare",
+						doc, ref[0], first, second, first)
+					continue
+				}
+				if third != "" && ast.IsExported(third) && !idx.members[second][third] {
+					t.Errorf("%s: `%s` names member %s.%s.%s, which type %s does not declare",
+						doc, ref[0], first, second, third, second)
+				}
+			}
+		}
+	}
+}
+
+// TestTheoryGuideLinked pins the docs contract: docs/THEORY.md exists and
+// README.md links to it.
+func TestTheoryGuideLinked(t *testing.T) {
+	if _, err := os.Stat(filepath.Join("docs", "THEORY.md")); err != nil {
+		t.Fatalf("docs/THEORY.md missing: %v", err)
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), "docs/THEORY.md") {
+		t.Fatal("README.md does not link docs/THEORY.md")
+	}
+}

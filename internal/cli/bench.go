@@ -270,20 +270,54 @@ func cmdBench(args []string, stdout io.Writer) error {
 		}
 	})
 
+	// Exact checker rows. Degree-bound pruning turned core_n13_f4 from the
+	// suite's slowest row (~10 ms/op unpruned) into a sub-millisecond one,
+	// so it and the maxf scan now run in -short CI smoke too and sit under
+	// the -compare trend gate on every run.
+	cg, err := topology.CoreNetwork(13, 4)
+	if err != nil {
+		return err
+	}
+	run("condition/check/core_n13_f4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := condition.Check(cg, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Satisfied {
+				b.Fatal("core(13,4) should satisfy")
+			}
+		}
+	})
+	mg, err := topology.CoreNetwork(16, 2)
+	if err != nil {
+		return err
+	}
+	run("condition/maxf/core_n16_f2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			maxF, err := condition.MaxF(mg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if maxF != 2 {
+				b.Fatalf("MaxF = %d", maxF)
+			}
+		}
+	})
 	if !*short {
-		cg, err := topology.CoreNetwork(13, 4)
+		// Degree-regular circulants at small threshold admit most candidates,
+		// so this row tracks the checker's un-prunable worst case.
+		hg, err := topology.Chord(16, 2)
 		if err != nil {
 			return err
 		}
-		run("condition/check/core_n13_f4", func(b *testing.B) {
+		run("condition/check/chord_n16_f2", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := condition.Check(cg, 4)
-				if err != nil {
+				if _, err := condition.Check(hg, 2); err != nil {
 					b.Fatal(err)
-				}
-				if !res.Satisfied {
-					b.Fatal("core(13,4) should satisfy")
 				}
 			}
 		})

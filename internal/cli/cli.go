@@ -106,8 +106,12 @@ func cmdCheck(args []string, stdin io.Reader, stdout io.Writer) error {
 	} else {
 		fmt.Fprintf(stdout, "condition: VIOLATED — witness %s\n", res.Witness)
 	}
-	fmt.Fprintf(stdout, "work: %d fault sets, %d candidate sets\n",
-		res.FaultSetsExamined, res.CandidatesExamined)
+	fmt.Fprintf(stdout, "work: %d fault sets, %d candidate sets (%d pruned by degree bound, %d memo hits)\n",
+		res.FaultSetsExamined, res.CandidatesExamined, res.CandidatesPruned, res.MemoHits)
+	if res.CandidatesExamined > 0 {
+		fmt.Fprintf(stdout, "pruned: %.1f%% of the candidate space skipped unvisited\n",
+			100*float64(res.CandidatesPruned)/float64(res.CandidatesExamined))
+	}
 	return nil
 }
 
@@ -121,7 +125,7 @@ func cmdMaxF(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	maxF, err := condition.MaxF(g)
+	maxF, stats, err := condition.MaxFWithStats(g)
 	if err != nil {
 		return err
 	}
@@ -135,6 +139,9 @@ func cmdMaxF(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "alpha at maxf: %.6f\n", alpha)
 		}
 	}
+	fmt.Fprintf(stdout, "work: %d checks, %d fault sets, %d candidate sets (%d pruned, %d memo hits)\n",
+		stats.ChecksRun, stats.FaultSetsExamined, stats.CandidatesExamined,
+		stats.CandidatesPruned, stats.MemoHits)
 	return nil
 }
 

@@ -62,8 +62,57 @@ type Result struct {
 	Witness *Witness
 	// FaultSetsExamined counts the fault sets F enumerated.
 	FaultSetsExamined int64
-	// CandidatesExamined counts candidate L sets tested for insulation.
+	// CandidatesExamined counts candidate L sets accounted for by the
+	// enumeration: those explicitly tested for insulation plus those the
+	// degree lower bound pruned without a visit. On a satisfied graph the
+	// total equals the unpruned checker's count exactly (Σ_F Σ_k C(m,k)),
+	// so work numbers stay comparable across checker versions; the split
+	// is CandidatesPruned.
 	CandidatesExamined int64
+	// CandidatesPruned counts candidate L sets skipped wholesale by the
+	// degree lower bound (see the pruning invariant in the package doc of
+	// iabc's doc.go): a node with base[v] ≥ threshold + |L| − 1 in-neighbors
+	// from ground cannot belong to any insulated set of size |L|, so every
+	// candidate containing it is skipped unvisited. Always ≤
+	// CandidatesExamined.
+	CandidatesPruned int64
+	// MemoHits counts maximal-insulated-subset computations skipped because
+	// a previously peeled subset of the candidate already proved the
+	// complement's maximal insulated subset empty (see
+	// insulationScratch.dead). Always ≤ CandidatesExamined.
+	MemoHits int64
+}
+
+// checkCounters accumulates per-fault-set work; one instance per goroutine.
+type checkCounters struct {
+	candidates int64
+	pruned     int64
+	memoHits   int64
+}
+
+// binomTable holds C(n, k) for n ≤ 62 — the checker's feasibility cap on
+// ground sizes — built by Pascal's rule so no intermediate overflows int64
+// (the largest entry, C(62,31) ≈ 4.2e17, fits comfortably).
+var binomTable = func() [63][63]int64 {
+	var t [63][63]int64
+	for n := 0; n <= 62; n++ {
+		t[n][0] = 1
+		for k := 1; k <= n; k++ {
+			t[n][k] = t[n-1][k-1] + t[n-1][k]
+		}
+	}
+	return t
+}()
+
+// binom returns C(n, k), or 0 when the pair is out of the table's range.
+// Callers that difference two binom values must keep both arguments inside
+// the table (the pruning account guards total ≤ 62), or the zero for an
+// oversized n would turn the difference negative.
+func binom(n, k int) int64 {
+	if k < 0 || k > n || n > 62 {
+		return 0
+	}
+	return binomTable[n][k]
 }
 
 // Check runs the exact Theorem 1 check for the synchronous model
@@ -95,7 +144,11 @@ func CheckAsync(g *graph.Graph, f int) (Result, error) {
 // W−L; non-empty means a violation with R = that subset.
 //
 // This replaces the naive 3^n enumeration over (L, C, R) triples. The
-// returned witness is re-verifiable via (*Witness).Verify.
+// candidate enumeration is further cut down — without changing Satisfied or
+// the returned witness — by degree-lower-bound pruning and an
+// empty-complement memo (see findDisjointInsulatedPair); Result reports the
+// savings as CandidatesPruned and MemoHits. The returned witness is
+// re-verifiable via (*Witness).Verify.
 func CheckThreshold(g *graph.Graph, f, threshold int) (Result, error) {
 	n := g.N()
 	if f < 0 {
@@ -110,12 +163,13 @@ func CheckThreshold(g *graph.Graph, f, threshold int) (Result, error) {
 	universe := nodeset.Universe(n)
 	res := Result{Satisfied: true}
 	scratch := newInsulationScratch(g)
+	var counters checkCounters
 
 	for fSize := 0; fSize <= f && fSize <= n; fSize++ {
 		nodeset.SubsetsAscendingSize(universe, fSize, fSize, func(fSet nodeset.Set) bool {
 			res.FaultSetsExamined++
 			ground := universe.Difference(fSet)
-			w := findDisjointInsulatedPair(scratch, ground, threshold, &res.CandidatesExamined)
+			w := findDisjointInsulatedPair(scratch, ground, threshold, &counters)
 			if w != nil {
 				w.F = fSet.Clone()
 				w.C = ground.Difference(w.L).Difference(w.R)
@@ -129,6 +183,9 @@ func CheckThreshold(g *graph.Graph, f, threshold int) (Result, error) {
 			break
 		}
 	}
+	res.CandidatesExamined = counters.candidates
+	res.CandidatesPruned = counters.pruned
+	res.MemoHits = counters.memoHits
 	return res, nil
 }
 
@@ -189,8 +246,23 @@ func maximalInsulatedSubset(g *graph.Graph, ground, sub nodeset.Set, threshold i
 //
 // The insulation tests run on s's cached in-degree-from-ground counts —
 // the optimization that turned the exact checker's inner loop
-// allocation-free.
-func findDisjointInsulatedPair(s *insulationScratch, ground nodeset.Set, threshold int, examined *int64) *Witness {
+// allocation-free. Two further cuts keep the search exact while skipping
+// most of it:
+//
+//   - Degree pruning. A node v in an insulated set X has at most |X|−1
+//     in-neighbors inside X (no self-loops), so base[v] − (|X|−1) ≤
+//     threshold−1 must hold — any v with base[v] ≥ threshold + |X| − 1 is
+//     inadmissible at size |X|, and every candidate containing it is
+//     skipped unvisited via nodeset.SubsetsAscendingSizePruned. Insulated
+//     sets survive the filter by construction, so the first violating
+//     candidate found — and hence the witness — is unchanged.
+//   - Empty-complement memo. For each insulated L whose complement peeled
+//     to ∅, the scratch records L (s.recordDead); a later insulated L' ⊇ L
+//     has ground−L' ⊆ ground−L, and the maximal insulated subset is
+//     monotone in its sub argument, so its peel is provably ∅ and skipped
+//     (s.knownDead). Only peels are skipped, never candidate tests, so
+//     counter accounting and the returned witness are unaffected.
+func findDisjointInsulatedPair(s *insulationScratch, ground nodeset.Set, threshold int, c *checkCounters) *Witness {
 	m := ground.Count()
 	if m < 2 {
 		return nil
@@ -199,19 +271,39 @@ func findDisjointInsulatedPair(s *insulationScratch, ground nodeset.Set, thresho
 	var found *Witness
 	// L needs at most floor(m/2) nodes: if a disjoint pair (L, R) exists,
 	// the smaller side has ≤ m/2 nodes, and the pair is symmetric in L/R.
-	nodeset.SubsetsAscendingSize(ground, 1, m/2, func(l nodeset.Set) bool {
-		*examined++
-		if !s.insulated(l, threshold) {
+	nodeset.SubsetsAscendingSizePruned(ground, 1, m/2,
+		func(v, size int) bool { return s.base[v] < threshold+size-1 },
+		func(size, kept, total int) {
+			if total > 62 {
+				// Grounds beyond the binom table (possible while n−f ≤ 62
+				// when fSize < f) have no exact int64 account — C(64,32)
+				// alone overflows — and are never enumerable to completion
+				// anyway; leave them out of the account rather than report
+				// a negative or saturated number.
+				return
+			}
+			skipped := binom(total, size) - binom(kept, size)
+			c.candidates += skipped
+			c.pruned += skipped
+		},
+		func(l nodeset.Set) bool {
+			c.candidates++
+			if !s.insulated(l, threshold) {
+				return true
+			}
+			if s.knownDead(l) {
+				c.memoHits++
+				return true
+			}
+			rest := ground.Difference(l)
+			r := s.maximalInsulated(ground, rest, threshold)
+			if !r.Empty() {
+				found = &Witness{L: l.Clone(), R: r}
+				return false
+			}
+			s.recordDead(l)
 			return true
-		}
-		rest := ground.Difference(l)
-		r := s.maximalInsulated(ground, rest, threshold)
-		if !r.Empty() {
-			found = &Witness{L: l.Clone(), R: r}
-			return false
-		}
-		return true
-	})
+		})
 	return found
 }
 
@@ -221,18 +313,43 @@ func findDisjointInsulatedPair(s *insulationScratch, ground nodeset.Set, thresho
 // components). The condition is monotone: satisfying f implies satisfying
 // every f' < f, so a linear scan with early exit is exact.
 func MaxF(g *graph.Graph) (int, error) {
+	best, _, err := MaxFWithStats(g)
+	return best, err
+}
+
+// MaxFStats aggregates the checker work a MaxF scan performed across its
+// Check calls — the numbers `iabc maxf` reports.
+type MaxFStats struct {
+	// ChecksRun counts the Check invocations (one per f tried).
+	ChecksRun int
+	// FaultSetsExamined, CandidatesExamined, CandidatesPruned and MemoHits
+	// sum the corresponding Result counters over all checks.
+	FaultSetsExamined  int64
+	CandidatesExamined int64
+	CandidatesPruned   int64
+	MemoHits           int64
+}
+
+// MaxFWithStats is MaxF plus the aggregated work counters of the scan.
+func MaxFWithStats(g *graph.Graph) (int, MaxFStats, error) {
 	best := -1
+	var stats MaxFStats
 	for f := 0; 3*f < g.N(); f++ {
 		res, err := Check(g, f)
+		stats.ChecksRun++
+		stats.FaultSetsExamined += res.FaultSetsExamined
+		stats.CandidatesExamined += res.CandidatesExamined
+		stats.CandidatesPruned += res.CandidatesPruned
+		stats.MemoHits += res.MemoHits
 		if err != nil {
-			return best, err
+			return best, stats, err
 		}
 		if !res.Satisfied {
 			break
 		}
 		best = f
 	}
-	return best, nil
+	return best, stats, nil
 }
 
 // Violation is a human-readable reason a graph fails a polynomial-time

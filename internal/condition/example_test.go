@@ -55,6 +55,27 @@ func ExampleMaxF() {
 	// 3-cube: 0
 }
 
+// ExampleMaxFWithStats shows the checker-work account behind a tolerance
+// audit: the degree lower bound prunes most of the candidate space on a core
+// network, and the pruning never exceeds the candidates accounted for.
+func ExampleMaxFWithStats() {
+	g, err := topology.CoreNetwork(10, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, stats, err := condition.MaxFWithStats(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("maxf:", best)
+	fmt.Println("pruning fired:", stats.CandidatesPruned > 0)
+	fmt.Println("account consistent:", stats.CandidatesPruned <= stats.CandidatesExamined)
+	// Output:
+	// maxf: 3
+	// pruning fired: true
+	// account consistent: true
+}
+
 // ExamplePropagates runs Definition 3 on a directed cycle: a single node
 // propagates to the rest one step at a time.
 func ExamplePropagates() {

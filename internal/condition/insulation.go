@@ -30,7 +30,29 @@ type insulationScratch struct {
 	// peel state for maximalInsulated.
 	cntS  []int
 	queue []int
+	// dead memoizes maximal insulated subsets that peeled to ∅: it holds
+	// candidates L (of the current ground) for which the maximal insulated
+	// subset of ground−L was computed and found empty. Because that subset
+	// is monotone in its sub argument (every insulated subset of a smaller
+	// sub is an insulated subset of the larger one), any later candidate
+	// L' ⊇ L has an empty complement too, and its peel is skipped — a memo
+	// hit. Dominated entries are never stored (a superset of a stored entry
+	// is already a hit), and the table is capped at deadCap to bound the
+	// subset scans.
+	//
+	// The memo is valid only relative to the current ground: insulation
+	// w.r.t. a smaller ground is a weaker property, so an empty result under
+	// one ground proves nothing under another — the fault-set enumeration
+	// visits shrinking grounds, which is exactly the unsound direction.
+	// setGround therefore clears the table; what persists across fault sets
+	// is the storage and the accumulated hit count, not the entries.
+	dead []nodeset.Set
 }
+
+// deadCap bounds the empty-complement memo. Entries beyond the cap are
+// dropped (losing potential hits, never correctness); 64 single-word subset
+// tests cost less than one O(edges) peel, so the scan stays profitable.
+const deadCap = 64
 
 func newInsulationScratch(g *graph.Graph) *insulationScratch {
 	n := g.N()
@@ -49,6 +71,29 @@ func (s *insulationScratch) setGround(ground nodeset.Set) {
 		s.base[v] = s.g.CountInFrom(v, ground)
 		return true
 	})
+	s.dead = s.dead[:0]
+}
+
+// knownDead reports whether some memoized candidate is a subset of l —
+// proving, by monotonicity, that the maximal insulated subset of ground−l
+// is empty without peeling it.
+func (s *insulationScratch) knownDead(l nodeset.Set) bool {
+	for _, d := range s.dead {
+		if d.SubsetOf(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// recordDead memoizes a candidate whose complement peeled to ∅. Candidates
+// arrive in ascending size, so no new entry can strictly dominate a stored
+// one; knownDead screens out the supersets before they get here.
+func (s *insulationScratch) recordDead(l nodeset.Set) {
+	if len(s.dead) >= deadCap {
+		return
+	}
+	s.dead = append(s.dead, l.Clone())
 }
 
 // insulated reports whether every node of the current candidate l has at

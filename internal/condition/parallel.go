@@ -54,6 +54,8 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 		next       atomic.Int64
 		bestFail   atomic.Int64
 		candidates atomic.Int64
+		pruned     atomic.Int64
+		memoHits   atomic.Int64
 		examined   atomic.Int64
 	)
 	bestFail.Store(int64(len(faultSets)))
@@ -63,9 +65,15 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			scratch := newInsulationScratch(g) // per-worker: hooks mutate it
-			var localCand int64
-			defer func() { candidates.Add(localCand) }()
+			// Per-worker scratch: the base counters, the peel worklist, and
+			// the empty-complement memo all mutate during a fault set.
+			scratch := newInsulationScratch(g)
+			var local checkCounters
+			defer func() {
+				candidates.Add(local.candidates)
+				pruned.Add(local.pruned)
+				memoHits.Add(local.memoHits)
+			}()
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(len(faultSets)) {
@@ -79,7 +87,7 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 				examined.Add(1)
 				fSet := faultSets[i]
 				ground := universe.Difference(fSet)
-				wit := findDisjointInsulatedPair(scratch, ground, threshold, &localCand)
+				wit := findDisjointInsulatedPair(scratch, ground, threshold, &local)
 				if wit == nil {
 					continue
 				}
@@ -102,6 +110,8 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 		Satisfied:          true,
 		FaultSetsExamined:  examined.Load(),
 		CandidatesExamined: candidates.Load(),
+		CandidatesPruned:   pruned.Load(),
+		MemoHits:           memoHits.Load(),
 	}
 	if b := bestFail.Load(); b < int64(len(faultSets)) {
 		res.Satisfied = false

@@ -18,7 +18,9 @@ type E13Result struct {
 	Rows []E13Row
 }
 
-// E13Row is one graph's connectivity-vs-condition comparison.
+// E13Row is one graph's connectivity-vs-condition comparison, with the exact
+// checker's work counters for the MaxF scan — the scaling record that shows
+// what degree-bound pruning buys as n grows (condition.MaxFWithStats).
 type E13Row struct {
 	Graph string
 	N     int
@@ -31,6 +33,10 @@ type E13Row struct {
 	IterativeF int
 	// Gap is ClassicalF − IterativeF.
 	Gap int
+	// Candidates and Pruned are the MaxF scan's accumulated candidate count
+	// and the share of it skipped unvisited by the degree lower bound;
+	// MemoHits counts complement peels the empty-complement memo avoided.
+	Candidates, Pruned, MemoHits int64
 }
 
 // Title implements Report.
@@ -42,15 +48,23 @@ func (*E13Result) Title() string {
 func (r *E13Result) Table() string {
 	rows := make([][]string, 0, len(r.Rows))
 	for _, row := range r.Rows {
+		prunedPct := "0.0%"
+		if row.Candidates > 0 {
+			prunedPct = fmt.Sprintf("%.1f%%", 100*float64(row.Pruned)/float64(row.Candidates))
+		}
 		rows = append(rows, []string{
 			row.Graph, fmt.Sprint(row.N), fmt.Sprint(row.Kappa),
 			fmt.Sprint(row.ClassicalF), fmt.Sprint(row.IterativeF), fmt.Sprint(row.Gap),
+			fmt.Sprint(row.Candidates), prunedPct, fmt.Sprint(row.MemoHits),
 		})
 	}
-	return table([]string{"graph", "n", "κ", "classical f (κ>2f)", "iterative f (Thm 1)", "gap"}, rows)
+	return table([]string{"graph", "n", "κ", "classical f (κ>2f)", "iterative f (Thm 1)", "gap", "cand sets", "pruned", "memo"}, rows)
 }
 
-// E13Connectivity compares the two notions on the paper's menagerie.
+// E13Connectivity compares the two notions on the paper's menagerie, plus
+// two checker-scaling rows — chord(16,2) and core(16,2), sizes the unpruned
+// enumeration made painfully slow — whose work columns record what the
+// degree-bound pruning skips.
 func E13Connectivity() (*E13Result, error) {
 	res := &E13Result{}
 	add := func(name string, g *graph.Graph) error {
@@ -59,7 +73,7 @@ func E13Connectivity() (*E13Result, error) {
 		if kappa > 0 {
 			classical = (kappa - 1) / 2
 		}
-		iterative, err := condition.MaxF(g)
+		iterative, stats, err := condition.MaxFWithStats(g)
 		if err != nil {
 			return err
 		}
@@ -69,7 +83,10 @@ func E13Connectivity() (*E13Result, error) {
 		res.Rows = append(res.Rows, E13Row{
 			Graph: name, N: g.N(), Kappa: kappa,
 			ClassicalF: classical, IterativeF: iterative,
-			Gap: classical - iterative,
+			Gap:        classical - iterative,
+			Candidates: stats.CandidatesExamined,
+			Pruned:     stats.CandidatesPruned,
+			MemoHits:   stats.MemoHits,
 		})
 		return nil
 	}
@@ -116,14 +133,32 @@ func E13Connectivity() (*E13Result, error) {
 	if err := add("K_{5,5}", bip); err != nil {
 		return nil, err
 	}
+	// Checker-scaling rows: before degree-bound pruning, the MaxF scans on
+	// these two 16-node graphs were the slowest condition checks in the
+	// suite; the pruned/candidates ratio records why they no longer are.
+	chord162, err := topology.Chord(16, 2)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("chord(16,2)", chord162); err != nil {
+		return nil, err
+	}
+	core162, err := topology.CoreNetwork(16, 2)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("core(16,2)", core162); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
-// Passed asserts the paper's headline: some graph shows a strictly positive
+// Passed asserts the paper's headline — some graph shows a strictly positive
 // gap (connectivity over-promises), while core networks and complete graphs
-// show none.
+// show none — plus the pruning account's sanity: pruned ≤ candidates on
+// every row, with pruning actually firing somewhere.
 func (r *E13Result) Passed() bool {
-	gapSeen := false
+	gapSeen, prunedSeen := false, false
 	for _, row := range r.Rows {
 		if row.Gap < 0 {
 			return false // the condition can never beat connectivity
@@ -131,9 +166,15 @@ func (r *E13Result) Passed() bool {
 		if row.Gap > 0 {
 			gapSeen = true
 		}
-		if (row.Graph == "core(7,2)" || row.Graph == "K7") && row.Gap != 0 {
+		if row.Pruned < 0 || row.Pruned > row.Candidates || row.MemoHits < 0 {
+			return false
+		}
+		if row.Pruned > 0 {
+			prunedSeen = true
+		}
+		if (row.Graph == "core(7,2)" || row.Graph == "K7" || row.Graph == "core(16,2)") && row.Gap != 0 {
 			return false
 		}
 	}
-	return gapSeen && len(r.Rows) > 0
+	return gapSeen && prunedSeen && len(r.Rows) > 0
 }

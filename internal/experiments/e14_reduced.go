@@ -10,12 +10,14 @@ import (
 
 // E14Result cross-validates the two independent characterizations of the
 // tight condition on random graphs — the insulated-set checker (Definition
-// 1 route) against the reduced-graph route (every fault set, every choice
-// of ≤ f in-edge deletions per node, must leave a unique source component).
-// The two implementations share only the graph type; exact agreement on
-// hundreds of graphs is the strongest internal-consistency evidence the
-// library offers. It also reports the sampling screen's hit rate on a
-// known-violating graph.
+// 1 route, running its pruned-and-memoized candidate enumeration) against
+// the reduced-graph route (every fault set, every choice of ≤ f in-edge
+// deletions per node, must leave a unique source component). The two
+// implementations share only the graph type; exact agreement on hundreds of
+// graphs is the strongest internal-consistency evidence the library offers —
+// and, since the pruned checker is the one under test, a standing
+// cross-validation that the degree bound and memo never change a verdict.
+// It also reports the sampling screen's hit rate on a known-violating graph.
 type E14Result struct {
 	// GraphsCompared counts random graphs where both deciders ran.
 	GraphsCompared int
@@ -24,6 +26,10 @@ type E14Result struct {
 	// SatisfiedCount tallies how many sampled graphs satisfied the
 	// condition (context for the comparison's coverage).
 	SatisfiedCount int
+	// CandidatesTotal/PrunedTotal/MemoHitsTotal accumulate the insulated-set
+	// checker's work counters over all compared graphs — evidence the
+	// agreement was reached over the pruned path, not around it.
+	CandidatesTotal, PrunedTotal, MemoHitsTotal int64
 	// BarbellUnique/BarbellTotal: reduced-graph sampling on the thin-bridge
 	// barbell — the deficit certifies the violation cheaply.
 	BarbellUnique, BarbellTotal int
@@ -37,9 +43,10 @@ func (*E14Result) Title() string {
 // Table implements Report.
 func (r *E14Result) Table() string {
 	out := table(
-		[]string{"random graphs", "agreements", "satisfied among them"},
+		[]string{"random graphs", "agreements", "satisfied among them", "cand sets", "pruned", "memo"},
 		[][]string{{
 			fmt.Sprint(r.GraphsCompared), fmt.Sprint(r.Agreements), fmt.Sprint(r.SatisfiedCount),
+			fmt.Sprint(r.CandidatesTotal), fmt.Sprint(r.PrunedTotal), fmt.Sprint(r.MemoHitsTotal),
 		}},
 	)
 	return out + fmt.Sprintf("sampling screen on barbell(3,0), f=1: %d/%d reduced graphs had a unique source (deficit certifies violation)\n",
@@ -73,6 +80,9 @@ func E14ReducedCrossCheck() (*E14Result, error) {
 		if byWitness.Satisfied {
 			res.SatisfiedCount++
 		}
+		res.CandidatesTotal += byWitness.CandidatesExamined
+		res.PrunedTotal += byWitness.CandidatesPruned
+		res.MemoHitsTotal += byWitness.MemoHits
 	}
 
 	barbell, err := topology.Barbell(3, 0)
@@ -87,9 +97,11 @@ func E14ReducedCrossCheck() (*E14Result, error) {
 	return res, nil
 }
 
-// Passed requires perfect agreement and a detected deficit on the barbell.
+// Passed requires perfect agreement, a consistent pruning account, and a
+// detected deficit on the barbell.
 func (r *E14Result) Passed() bool {
 	return r.GraphsCompared > 0 &&
 		r.Agreements == r.GraphsCompared &&
+		r.PrunedTotal >= 0 && r.PrunedTotal <= r.CandidatesTotal &&
 		r.BarbellUnique < r.BarbellTotal
 }

@@ -325,6 +325,54 @@ func SubsetsAscendingSize(ground Set, lo, hi int, fn func(Set) bool) {
 	SubsetsAscendingSizeHooked(ground, lo, hi, nil, nil, fn)
 }
 
+// SubsetsAscendingSizePruned is SubsetsAscendingSize with a per-size
+// admission filter: before enumerating size-k subsets, admit(id, k) is asked
+// once for every ground member, and rejected members are excluded from every
+// size-k candidate. Excluding one member prunes its entire combination
+// subtree — the C(m−1, k−1) candidates containing it — without visiting any
+// of them, which is what makes degree-bound pruning in the condition checker
+// pay: the admission scan is O(m) per size while the subtrees it removes are
+// exponential.
+//
+// sized, if non-nil, is called once per size k (before that size's
+// enumeration, including sizes whose pool is smaller than k) with the number
+// of admitted members and the ground size, so callers can account for the
+// candidates never visited: C(total, k) − C(kept, k). A nil admit admits
+// every member, reducing to SubsetsAscendingSize with a sized callback.
+//
+// The admitted pool keeps the ground's ascending member order, so the
+// surviving candidates are enumerated in exactly the relative order
+// SubsetsAscendingSize would visit them — a caller whose admission filter
+// never rejects a member of a "hit" subset sees the same first hit.
+func SubsetsAscendingSizePruned(ground Set, lo, hi int, admit func(id, size int) bool, sized func(size, kept, total int), fn func(Set) bool) {
+	members := ground.Members()
+	if hi > len(members) {
+		hi = len(members)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	cur := New(ground.cap)
+	pool := make([]int, 0, len(members))
+	for k := lo; k <= hi; k++ {
+		pool = pool[:0]
+		for _, id := range members {
+			if admit == nil || admit(id, k) {
+				pool = append(pool, id)
+			}
+		}
+		if sized != nil {
+			sized(k, len(pool), len(members))
+		}
+		if k > len(pool) {
+			continue
+		}
+		if !combinations(pool, k, cur, nil, nil, fn) {
+			return
+		}
+	}
+}
+
 // SubsetsAscendingSizeHooked is SubsetsAscendingSize with membership-change
 // callbacks: onAdd(id) fires whenever id enters the candidate subset and
 // onRemove(id) whenever it leaves — one call per element transition,

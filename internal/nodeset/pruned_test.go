@@ -1,0 +1,106 @@
+package nodeset
+
+import "testing"
+
+// TestSubsetsAscendingSizePruned checks the admission-filter contract: the
+// enumerated candidates are exactly the full enumeration's candidates whose
+// members are all admitted at that size, in the same relative order, and the
+// sized callback reports every size's pool exactly once — including sizes
+// whose pool is smaller than the size itself.
+func TestSubsetsAscendingSizePruned(t *testing.T) {
+	ground := FromMembers(12, 0, 2, 3, 5, 7, 9, 11)
+	// Admit id at size k iff id < 2*k — a size-dependent filter like the
+	// checker's degree bound (pools grow with the candidate size).
+	admit := func(id, size int) bool { return id < 2*size }
+
+	var want [][]int
+	SubsetsAscendingSize(ground, 1, 4, func(s Set) bool {
+		ok := true
+		k := s.Count()
+		s.ForEach(func(id int) bool {
+			if !admit(id, k) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if ok {
+			want = append(want, s.Members())
+		}
+		return true
+	})
+
+	var got [][]int
+	sizedCalls := map[int][2]int{}
+	SubsetsAscendingSizePruned(ground, 1, 4, admit,
+		func(size, kept, total int) {
+			if _, dup := sizedCalls[size]; dup {
+				t.Fatalf("sized called twice for size %d", size)
+			}
+			sizedCalls[size] = [2]int{kept, total}
+		},
+		func(s Set) bool {
+			got = append(got, s.Members())
+			return true
+		})
+
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d pruned subsets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("subset %d: %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("subset %d: %v, want %v (order must match the full enumeration)", i, got[i], want[i])
+			}
+		}
+	}
+	for k := 1; k <= 4; k++ {
+		rec, ok := sizedCalls[k]
+		if !ok {
+			t.Fatalf("sized not called for size %d", k)
+		}
+		wantKept := 0
+		ground.ForEach(func(id int) bool {
+			if admit(id, k) {
+				wantKept++
+			}
+			return true
+		})
+		if rec[0] != wantKept || rec[1] != 7 {
+			t.Fatalf("sized(%d) = (kept=%d, total=%d), want (%d, 7)", k, rec[0], rec[1], wantKept)
+		}
+	}
+
+	// Size 1 admits only {0} (id < 2): the pool (1 member) is not smaller
+	// than the size, but size 2 admits {0, 2, 3} and size 1 of a different
+	// filter can empty out — exercise the pool-smaller-than-size path.
+	calls := 0
+	SubsetsAscendingSizePruned(ground, 3, 3, func(id, size int) bool { return id == 0 }, nil, func(Set) bool {
+		calls++
+		return true
+	})
+	if calls != 0 {
+		t.Fatalf("pool of 1 member yielded %d size-3 subsets, want 0", calls)
+	}
+
+	// nil admit + nil sized degenerates to SubsetsAscendingSize.
+	full, pruned := 0, 0
+	SubsetsAscendingSize(ground, 0, 7, func(Set) bool { full++; return true })
+	SubsetsAscendingSizePruned(ground, 0, 7, nil, nil, func(Set) bool { pruned++; return true })
+	if full != pruned || full != 128 { // 2^7 subsets
+		t.Fatalf("nil-admit enumeration = %d, full = %d, want both 128", pruned, full)
+	}
+
+	// Early stop propagates.
+	seen := 0
+	SubsetsAscendingSizePruned(ground, 1, 7, nil, nil, func(Set) bool {
+		seen++
+		return seen < 5
+	})
+	if seen != 5 {
+		t.Fatalf("early stop after %d subsets, want 5", seen)
+	}
+}
