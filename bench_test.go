@@ -9,6 +9,7 @@ package iabc_test
 // One experiment:   go test -bench=BenchmarkE7 -benchmem
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -448,7 +449,7 @@ func BenchmarkRunScenarios(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Sweep(base, scens, sim.SweepOptions{Workers: workers})
+				res, err := sim.Sweep(context.Background(), base, scens, sim.SweepOptions{Workers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -467,7 +468,7 @@ func BenchmarkRunScenarios(b *testing.B) {
 		b.Run("pooled8/"+eng.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := sim.Sweep(base, scens, sim.SweepOptions{Engine: eng, Workers: 1}); err != nil {
+				if _, err := sim.Sweep(context.Background(), base, scens, sim.SweepOptions{Engine: eng, Workers: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -516,7 +517,7 @@ func BenchmarkMatrixScenarioSweep(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Sweep(base, scens, sim.SweepOptions{
+		res, err := sim.Sweep(context.Background(), base, scens, sim.SweepOptions{
 			Engine: sim.Matrix{}, Workers: 0, Extras: extras,
 		})
 		if err != nil {
@@ -609,7 +610,7 @@ func BenchmarkAsyncRun(b *testing.B) {
 	initial := []float64{0, 1, 2, 3, 4, 5, 6}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tr, err := async.Run(async.Config{
+		tr, err := async.Run(context.Background(), async.Config{
 			G: g, F: 1, Faulty: nodeset.FromMembers(7, 6),
 			Initial: initial, Rule: core.TrimmedMean{},
 			Adversary: adversary.Extremes{Amplitude: 10},
@@ -634,7 +635,7 @@ func BenchmarkConditionCheckParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := condition.CheckParallel(g, 4, workers)
+				res, err := condition.CheckParallel(context.Background(), g, 4, workers)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,29 @@
+// Command apigen regenerates api/iabc.txt, the frozen public API surface
+// of the root iabc package. It is wired to `go generate .` (see doc.go);
+// TestAPISurfaceGolden fails the build when the committed file drifts from
+// the tree.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"iabc/internal/apigen"
+)
+
+func main() {
+	surface, err := apigen.Surface(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apigen:", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll("api", 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "apigen:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("api/iabc.txt", []byte(surface), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "apigen:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote api/iabc.txt")
+}

@@ -2,6 +2,33 @@
 // Arbitrary Directed Graphs" (Vaidya, Tseng, Liang; PODC 2012) as a
 // production-quality Go library.
 //
+// # The public facade
+//
+// This root package is the supported way to use the system. Four
+// context-aware, option-based entry points expose the paper's two pillars
+// — Algorithm 1 simulation across the cross-checked engines, and the exact
+// Theorem 1 analysis view — behind one coherent API:
+//
+//   - Simulate(ctx, g, opts...) — one run on any engine (WithEngine:
+//     Sequential, ConcurrentPool, Matrix, or the §7 Async model), returning
+//     an engine-independent Outcome;
+//   - Sweep(ctx, g, scenarios, opts...) — batched scenario sweeps over
+//     pooled engine state, fanned across cores (WithWorkers), with the
+//     matrix replay dimension composed in via WithExtras/WithBatch;
+//   - Check(ctx, g, f, opts...) — the exact Theorem 1 decision with
+//     witnesses, parallel fault-set scanning, and the §7 threshold under
+//     WithAsyncCondition;
+//   - MaxF(ctx, g, opts...) / MaxFWithStats — the largest tolerable f.
+//
+// Every entry point honors its context — cancellation is checked at
+// scenario, fault-set, or event-batch granularity, never inside the
+// zero-allocation round loops — and streams progress through WithObserver
+// without materializing traces. The supporting vocabulary (graphs,
+// topologies, node sets, update rules, adversaries, delay policies) is
+// re-exported here as type aliases, so callers never import internal
+// packages; the in-tree CLI and all examples/ are consumers of this facade
+// and nothing else (enforced by TestFacadeOnlyConsumers).
+//
 // The implementation lives under internal/:
 //
 //   - internal/core — Algorithm 1 (the trimmed-mean update) and the
@@ -86,6 +113,16 @@
 //     peels whose emptiness is implied by a memoized subset). Enforced by
 //     the property tests in internal/condition/prune_test.go and the
 //     E14 cross-validation against condition.CheckViaReducedGraphs.
+//  6. Facade stability. The root package's exported surface is frozen in
+//     api/iabc.txt, regenerated only by a deliberate `go generate .`;
+//     TestAPISurfaceGolden fails the build when the tree drifts from the
+//     committed golden, so breaking the public API is always an explicit,
+//     reviewed act. The facade adds context, options, and observation —
+//     never semantics: every entry point is pinned bit-identical to the
+//     internal implementation it fronts (facade_test.go), cancellation is
+//     checked only between scenarios / fault sets / event batches (the
+//     round loops stay allocation-free, invariant 3), and observer
+//     callbacks are serialized even when work fans across workers.
 //
 // bench_test.go in this directory hosts the benchmark harness: one
 // Benchmark per experiment plus micro-benchmarks for the hot paths; `iabc
@@ -93,3 +130,5 @@
 // trajectory artifact. See README.md for a guided tour and EXPERIMENTS.md
 // for paper-vs-measured results.
 package iabc
+
+//go:generate go run ./cmd/apigen

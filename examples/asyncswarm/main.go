@@ -8,32 +8,31 @@
 // |N⁻| − f round-tagged messages (it can never wait for all), the ⇒
 // threshold becomes 2f+1, in-degrees must reach 3f+1, and n must exceed 5f.
 // The example first shows the boundary (6 drones needed for f = 1; 5 fail),
-// then runs the compromised swarm to agreement.
+// then runs the compromised swarm to agreement — all through the public
+// iabc facade (Check with WithAsyncCondition, Simulate with the Async
+// engine).
 //
 // Run: go run ./examples/asyncswarm
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"iabc/internal/adversary"
-	"iabc/internal/async"
-	"iabc/internal/condition"
-	"iabc/internal/core"
-	"iabc/internal/nodeset"
-	"iabc/internal/topology"
+	"iabc"
 )
 
 func main() {
 	const f = 1
+	ctx := context.Background()
 
 	// Boundary: K5 fails the asynchronous condition (n must exceed 5f).
-	k5, err := topology.Complete(5)
+	k5, err := iabc.Complete(5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res5, err := condition.CheckAsync(k5, f)
+	res5, err := iabc.Check(ctx, k5, f, iabc.WithAsyncCondition())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,11 +41,11 @@ func main() {
 
 	// 7 drones: comfortably above the n > 5f boundary.
 	const n = 7
-	g, err := topology.Complete(n)
+	g, err := iabc.Complete(n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := condition.CheckAsync(g, f)
+	res, err := iabc.Check(ctx, g, f, iabc.WithAsyncCondition())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,31 +57,30 @@ func main() {
 	// Altitudes in meters; drone 6 is compromised and hugs the ceiling of
 	// the honest range — the nastiest in-range behavior.
 	altitudes := []float64{118, 95, 130, 104, 122, 110, 0}
-	faulty := nodeset.FromMembers(n, 6)
 
-	trace, err := async.Run(async.Config{
-		G:         g,
-		F:         f,
-		Faulty:    faulty,
-		Initial:   altitudes,
-		Rule:      core.TrimmedMean{}, // quorum vector makes this the §7 update
-		Adversary: adversary.Hug{High: true},
-		Delays: async.Targeted{ // adversarial scheduler, delay bound B = 12
-			Slow: nodeset.FromMembers(n, 0, 2, 4),
+	out, err := iabc.Simulate(ctx, g,
+		iabc.WithEngine(iabc.Async),
+		iabc.WithF(f),
+		iabc.WithFaulty(6),
+		iabc.WithInitial(altitudes),
+		iabc.WithAdversary(iabc.Hug{High: true}),
+		iabc.WithDelays(iabc.TargetedDelay{ // adversarial scheduler, delay bound B = 12
+			Slow: iabc.SetOf(n, 0, 2, 4),
 			B:    12,
 			Fast: 0.3,
-		},
-		MaxRounds: 4000,
-		Epsilon:   0.01, // agree to within a centimeter
-	})
+		}),
+		iabc.WithMaxRounds(4000),
+		iabc.WithEpsilon(0.01), // agree to within a centimeter
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	trace := out.AsyncTrace
 	fmt.Printf("converged=%v stalled=%v after %d message deliveries (sim time %.1f)\n",
-		trace.Converged, trace.Stalled, trace.Deliveries, trace.Time)
+		out.Converged, trace.Stalled, trace.Deliveries, trace.Time)
 	for i := 0; i < n-1; i++ {
-		fmt.Printf("  drone %d altitude: %.3f m (round %d)\n", i, trace.Final[i], trace.Rounds[i])
+		fmt.Printf("  drone %d altitude: %.3f m (round %d)\n", i, out.Final[i], trace.Rounds[i])
 	}
 	fmt.Println("the agreed altitude lies inside the honest span [95, 130] despite the hugger and the hostile scheduler")
 }

@@ -2,19 +2,18 @@
 // node Byzantine, and watch Algorithm 1 drive the fault-free nodes to
 // agreement while the liar shouts values far outside the input range.
 //
+// Everything runs through the public iabc facade — the same four calls
+// (Check, Simulate, Sweep, MaxF) an external program would import.
+//
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"iabc/internal/adversary"
-	"iabc/internal/condition"
-	"iabc/internal/core"
-	"iabc/internal/nodeset"
-	"iabc/internal/sim"
-	"iabc/internal/topology"
+	"iabc"
 )
 
 func main() {
@@ -22,15 +21,16 @@ func main() {
 		n = 4 // nodes
 		f = 1 // tolerated faults
 	)
+	ctx := context.Background()
 
 	// 1. Build the topology: a core network with n > 3f.
-	g, err := topology.CoreNetwork(n, f)
+	g, err := iabc.CoreNetwork(n, f)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 2. Verify the tight condition of Theorem 1 before trusting the run.
-	res, err := condition.Check(g, f)
+	res, err := iabc.Check(ctx, g, f)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,28 +40,26 @@ func main() {
 	fmt.Printf("topology %s satisfies Theorem 1 for f=%d\n", g, f)
 
 	// 3. Simulate: node 3 is Byzantine and sends +1000 to everyone.
-	faulty := nodeset.FromMembers(n, 3)
-	trace, err := sim.Sequential{}.Run(sim.Config{
-		G:         g,
-		F:         f,
-		Faulty:    faulty,
-		Initial:   []float64{10, 20, 30, 99},
-		Rule:      core.TrimmedMean{},
-		Adversary: adversary.Fixed{Value: 1000},
-		MaxRounds: 200,
-		Epsilon:   1e-6,
-	})
+	out, err := iabc.Simulate(ctx, g,
+		iabc.WithF(f),
+		iabc.WithFaulty(3),
+		iabc.WithInitial([]float64{10, 20, 30, 99}),
+		iabc.WithAdversary(iabc.Fixed{Value: 1000}),
+		iabc.WithMaxRounds(200),
+		iabc.WithEpsilon(1e-6),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 4. Inspect the outcome.
+	trace := out.Trace
 	for r := 0; r <= trace.Rounds && r <= 10; r++ {
 		fmt.Printf("round %2d: U=%.4f µ=%.4f range=%.2e\n",
 			r, trace.U[r], trace.Mu[r], trace.Range(r))
 	}
 	fmt.Printf("...\nconverged=%v after %d rounds; final range %.2e\n",
-		trace.Converged, trace.Rounds, trace.FinalRange())
+		out.Converged, out.Rounds, out.FinalRange)
 	fmt.Printf("agreement value ≈ %.4f — inside the honest input hull [10, 30], "+
 		"untouched by the liar's 1000s\n", trace.U[trace.Rounds])
 }

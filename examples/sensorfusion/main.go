@@ -6,22 +6,20 @@
 // sized for f = 2. Each sensor reads the true temperature plus noise; two
 // compromised sensors collude, equivocating different extreme readings to
 // different neighbors every round. Algorithm 1 fuses the honest readings to
-// a common estimate that stays inside the honest reading range.
+// a common estimate that stays inside the honest reading range. The whole
+// pipeline — overlay, exact check, simulation — runs through the public
+// iabc facade.
 //
 // Run: go run ./examples/sensorfusion
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"iabc/internal/adversary"
-	"iabc/internal/condition"
-	"iabc/internal/core"
-	"iabc/internal/nodeset"
-	"iabc/internal/sim"
-	"iabc/internal/topology"
+	"iabc"
 )
 
 func main() {
@@ -31,16 +29,17 @@ func main() {
 		trueTemp = 21.5
 		noise    = 0.8
 	)
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(2012))
 
 	// Chord overlay: node i links to i+1, ..., i+2f+1 (mod n) — cheap,
 	// regular, and known from §6.3 to need care: small chords fail the
 	// condition, so verify before deploying.
-	g, err := topology.Chord(n, f)
+	g, err := iabc.Chord(n, f)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := condition.Check(g, f)
+	res, err := iabc.Check(ctx, g, f)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,27 +61,25 @@ func main() {
 			hi = readings[i]
 		}
 	}
-	faulty := nodeset.FromMembers(n, 5, 11)
 
-	trace, err := sim.Sequential{}.Run(sim.Config{
-		G:       g,
-		F:       f,
-		Faulty:  faulty,
-		Initial: readings,
-		Rule:    core.TrimmedMean{},
+	out, err := iabc.Simulate(ctx, g,
+		iabc.WithF(f),
+		iabc.WithFaulty(5, 11),
+		iabc.WithInitial(readings),
 		// Equivocate: different random extreme per receiver per round.
-		Adversary: &adversary.RandomNoise{Rng: rng, Lo: -40, Hi: 90},
-		MaxRounds: 2000,
-		Epsilon:   1e-4,
-	})
+		iabc.WithAdversary(&iabc.RandomNoise{Rng: rng, Lo: -40, Hi: 90}),
+		iabc.WithMaxRounds(2000),
+		iabc.WithEpsilon(1e-4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	trace := out.Trace
 	fused := trace.U[trace.Rounds]
 	fmt.Printf("honest readings span [%.3f, %.3f] around true %.1f°C\n", lo, hi, trueTemp)
 	fmt.Printf("fused estimate after %d rounds: %.3f°C (range %.1e, converged=%v)\n",
-		trace.Rounds, fused, trace.FinalRange(), trace.Converged)
+		out.Rounds, fused, out.FinalRange, out.Converged)
 	if round, bad := trace.ValidityViolation(1e-9); bad {
 		log.Fatalf("validity violated at round %d — should be impossible", round)
 	}

@@ -8,24 +8,23 @@
 //
 // The audit runs over the paper's Section 6 menagerie (core, hypercube,
 // chord) plus a deliberately weak custom graph, showing how an auditor
-// reads the results.
+// reads the results — entirely through the public iabc facade.
 //
 // Run: go run ./examples/topologyaudit
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"iabc/internal/analysis"
-	"iabc/internal/condition"
-	"iabc/internal/graph"
-	"iabc/internal/topology"
+	"iabc"
 )
 
-func audit(name string, g *graph.Graph) {
+func audit(name string, g *iabc.Graph) {
+	ctx := context.Background()
 	fmt.Printf("=== %s — %s, min in-degree %d\n", name, g, g.MinInDegree())
-	maxF, err := condition.MaxF(g)
+	maxF, err := iabc.MaxF(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,8 +34,8 @@ func audit(name string, g *graph.Graph) {
 	}
 	fmt.Printf("  tolerates up to f = %d Byzantine node(s)\n", maxF)
 
-	if alpha, err := analysis.Alpha(g, maxF); err == nil {
-		bound, err := analysis.RoundsToEpsilonBound(g.N(), maxF, alpha, 1.0, 1e-6)
+	if alpha, err := iabc.Alpha(g, maxF); err == nil {
+		bound, err := iabc.RoundsToEpsilonBound(g.N(), maxF, alpha, 1.0, 1e-6)
 		if err == nil {
 			fmt.Printf("  α = %.4f; worst-case rounds for unit range → 1e-6: %d\n", alpha, bound)
 		}
@@ -44,14 +43,14 @@ func audit(name string, g *graph.Graph) {
 
 	// Where does it break? Check f+1, show the witness, and let the
 	// repair tool compute the missing links.
-	res, err := condition.Check(g, maxF+1)
+	res, err := iabc.Check(ctx, g, maxF+1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !res.Satisfied {
 		fmt.Printf("  at f = %d it breaks: %v\n", maxF+1, res.Witness)
 		if 3*(maxF+1) < g.N() {
-			rep, err := condition.Repair(g, maxF+1, g.N()*g.N())
+			rep, err := iabc.Repair(g, maxF+1, g.N()*g.N())
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -65,25 +64,25 @@ func audit(name string, g *graph.Graph) {
 }
 
 func main() {
-	core7, err := topology.CoreNetwork(7, 2)
+	core7, err := iabc.CoreNetwork(7, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	audit("core network (n=7, f=2) — §6.1", core7)
 
-	cube, err := topology.Hypercube(3)
+	cube, err := iabc.Hypercube(3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	audit("3-dimensional hypercube — §6.2/Fig. 3", cube)
 
-	chord5, err := topology.Chord(5, 1)
+	chord5, err := iabc.Chord(5, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	audit("chord network (n=5, f=1) — §6.3", chord5)
 
-	chord7, err := topology.Chord(7, 2)
+	chord7, err := iabc.Chord(7, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +90,7 @@ func main() {
 
 	// A custom design: two well-connected clusters joined by a thin bridge —
 	// the classic mistake the Theorem 1 condition catches.
-	b := graph.NewBuilder(8)
+	b := iabc.NewBuilder(8)
 	for i := 0; i < 4; i++ {
 		for j := i + 1; j < 4; j++ {
 			b.AddUndirected(i, j)

@@ -7,6 +7,7 @@ package iabc_test
 // stage's real output; nothing is mocked.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestPipelineRepairThenConverge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chk, err := condition.CheckParallel(rep.Repaired, 1, 0)
+	chk, err := condition.CheckParallel(context.Background(), rep.Repaired, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestPipelineSyncAsyncAgreementValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	asyncTr, err := async.Run(async.Config{
+	asyncTr, err := async.Run(context.Background(), async.Config{
 		G: g, F: f, Faulty: faulty, Initial: inputs,
 		Rule:      core.TrimmedMean{},
 		Adversary: adversary.Extremes{Amplitude: 1000},

@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -92,7 +93,7 @@ func TestAsyncConvergesNoFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		G: g, F: 0, Initial: initialRamp(6), Rule: core.TrimmedMean{},
 		Delays:    &Uniform{B: 2, Rng: rand.New(rand.NewSource(3))},
 		MaxRounds: 200, Epsilon: 1e-9,
@@ -121,7 +122,7 @@ func TestAsyncConvergesUnderByzantineFault(t *testing.T) {
 		adversary.Extremes{Amplitude: 100},
 		&adversary.RandomNoise{Rng: rand.New(rand.NewSource(4)), Lo: -50, Hi: 50},
 	} {
-		tr, err := Run(Config{
+		tr, err := Run(context.Background(), Config{
 			G: g, F: 1, Faulty: nodeset.FromMembers(7, 6),
 			Initial: initialRamp(7), Rule: core.TrimmedMean{},
 			Adversary: strat,
@@ -150,7 +151,7 @@ func TestAsyncAdversarialDelays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		G: g, F: 1, Faulty: nodeset.FromMembers(7, 0),
 		Initial: initialRamp(7), Rule: core.TrimmedMean{},
 		Adversary: adversary.Hug{High: true},
@@ -176,7 +177,7 @@ func TestAsyncStallsWhenTooManySilent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		G: g, F: 1, Faulty: nodeset.FromMembers(7, 5, 6),
 		Initial: initialRamp(7), Rule: core.TrimmedMean{},
 		Adversary: adversary.Silent{},
@@ -200,7 +201,7 @@ func TestAsyncDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func() *Trace {
-		tr, err := Run(Config{
+		tr, err := Run(context.Background(), Config{
 			G: g, F: 1, Faulty: nodeset.FromMembers(7, 3),
 			Initial: initialRamp(7), Rule: core.TrimmedMean{},
 			Adversary: &adversary.RandomNoise{Rng: rand.New(rand.NewSource(8)), Lo: -10, Hi: 10},
@@ -230,7 +231,7 @@ func TestAsyncValidityEnvelope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		G: g, F: 1, Faulty: nodeset.FromMembers(7, 2),
 		Initial: []float64{3, 0, 100, 7, 5, 1, 4}, // faulty node 2's input irrelevant
 		Rule:    core.TrimmedMean{},
@@ -268,7 +269,7 @@ func TestAsyncLockstepMatchesIntuition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		G: g, F: 0, Initial: []float64{0, 1, 2, 3, 4}, Rule: core.TrimmedMean{},
 		Delays: Fixed{D: 1}, MaxRounds: 50, Epsilon: 1e-10,
 	})
@@ -300,7 +301,7 @@ func TestFaultyTickDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		G: g, F: 1, Faulty: nodeset.FromMembers(7, 1),
 		Initial: initialRamp(7), Rule: core.TrimmedMean{},
 		Adversary: adversary.Fixed{Value: 42}, Delays: Fixed{D: 0.5},
@@ -326,7 +327,7 @@ func TestHistoryDecimation(t *testing.T) {
 		G: g, F: 0, Initial: initialRamp(6), Rule: core.TrimmedMean{},
 		Delays: Fixed{D: 1}, MaxRounds: 400,
 	}
-	full, err := Run(base)
+	full, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +339,7 @@ func TestHistoryDecimation(t *testing.T) {
 	const k = 100
 	dec := base
 	dec.HistoryEvery = k
-	decTr, err := Run(dec)
+	decTr, err := Run(context.Background(), dec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +381,7 @@ func TestHistoryDecimation(t *testing.T) {
 	// HistoryEvery 0 and 1 are both full resolution.
 	one := base
 	one.HistoryEvery = 1
-	oneTr, err := Run(one)
+	oneTr, err := Run(context.Background(), one)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,13 +393,13 @@ func TestHistoryDecimation(t *testing.T) {
 	// decimated history exactly where the full one ends.
 	conv := base
 	conv.Epsilon = 1e-6
-	convFull, err := Run(conv)
+	convFull, err := Run(context.Background(), conv)
 	if err != nil {
 		t.Fatal(err)
 	}
 	convDec := conv
 	convDec.HistoryEvery = k
-	convDecTr, err := Run(convDec)
+	convDecTr, err := Run(context.Background(), convDec)
 	if err != nil {
 		t.Fatal(err)
 	}

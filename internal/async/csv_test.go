@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ func TestWriteCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Run(Config{
+	tr, err := Run(context.Background(), Config{
 		G: g, F: 0, Initial: []float64{0, 1, 2, 3, 4},
 		Rule: core.TrimmedMean{}, Delays: Fixed{D: 1},
 		MaxRounds: 10, Epsilon: 1e-6,

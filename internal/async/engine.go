@@ -2,6 +2,7 @@ package async
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -47,6 +48,11 @@ type Config struct {
 	// point per state change. 0 or 1 records every change — the default,
 	// preserving the full-resolution behavior for short runs.
 	HistoryEvery int
+	// OnRange, when non-nil, is invoked after every fault-free state change
+	// with the simulation time and the fault-free range — streaming progress
+	// independent of (and undecimated by) HistoryEvery. It runs on the event
+	// loop, so it must be fast and must not block.
+	OnRange func(time, rng float64)
 }
 
 // Validate checks the configuration.
@@ -179,8 +185,21 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// cancelCheckEvery is the event-batch granularity of Run's cancellation
+// checks: ctx.Err() is consulted once per this many popped events, keeping
+// the per-event cost of cancellation support at one counter increment.
+const cancelCheckEvery = 256
+
 // Run executes the asynchronous simulation to completion.
-func Run(cfg Config) (*Trace, error) {
+//
+// ctx is checked at event-batch granularity (every cancelCheckEvery popped
+// events), so cancellation returns promptly without taxing the per-event
+// hot path. On cancellation the error wraps ctx.Err() together with the
+// simulation time reached and the deliveries processed.
+func Run(ctx context.Context, cfg Config) (*Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -277,6 +296,9 @@ func Run(cfg Config) (*Trace, error) {
 	recordRange := func(now float64) bool {
 		lo, hi := faultFreeRange(states, faultFree)
 		pt := RangePoint{Time: now, Range: hi - lo}
+		if cfg.OnRange != nil {
+			cfg.OnRange(pt.Time, pt.Range)
+		}
 		converged := cfg.Epsilon > 0 && pt.Range <= cfg.Epsilon
 		if changes%histEvery == 0 || converged {
 			tr.History = append(tr.History, pt)
@@ -293,7 +315,13 @@ func Run(cfg Config) (*Trace, error) {
 	}
 
 	var runErr error
+	var popped int
 	for q.Len() > 0 && !tr.Converged && runErr == nil {
+		if popped%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("async: run canceled at t=%.6g after %d deliveries: %w",
+				tr.Time, tr.Deliveries, context.Cause(ctx))
+		}
+		popped++
 		e := heap.Pop(&q).(event)
 		tr.Time = e.at
 		switch e.kind {

@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestRandomConfigurationsStaySafe(t *testing.T) {
 			&Uniform{B: 3, Rng: rand.New(rand.NewSource(int64(trial) + 1))},
 			Targeted{Slow: nodeset.FromMembers(n, 0, 1), B: 10, Fast: 0.2},
 		}
-		tr, err := Run(Config{
+		tr, err := Run(context.Background(), Config{
 			G: g, F: f, Faulty: faulty, Initial: initial,
 			Rule:      core.TrimmedMean{},
 			Adversary: strat,

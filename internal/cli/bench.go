@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -10,13 +11,8 @@ import (
 	"testing"
 	"time"
 
-	"iabc/internal/adversary"
-	"iabc/internal/async"
-	"iabc/internal/condition"
+	"iabc"
 	"iabc/internal/core"
-	"iabc/internal/nodeset"
-	"iabc/internal/sim"
-	"iabc/internal/topology"
 
 	"math/rand"
 )
@@ -44,9 +40,18 @@ type BenchArtifact struct {
 // cmdBench implements `iabc bench`: run the hot-path micro-benchmarks with
 // allocation tracking (the in-binary equivalent of `go test -bench
 // -benchmem` over the engine and checker paths) and write the JSON
-// trajectory artifact. With -compare it additionally diffs the fresh
-// numbers against a committed baseline artifact and fails on large
-// regressions — the trend gate CI runs as a non-blocking job.
+// trajectory artifact. The engine, sweep, checker, and async rows all run
+// through the public iabc facade — the numbers include the facade's option
+// dispatch, so they measure what external callers actually get. With
+// -compare it additionally diffs the fresh numbers against a committed
+// baseline artifact and fails on large regressions — the trend gate CI
+// runs as a non-blocking job.
+//
+// On a multi-core host the scenarios8-workers row records the measured
+// parallel speedup over the single-worker scenarios8 row in its extras
+// (speedup_vs_scenarios8, workers) — the scaling measurement EXPERIMENTS.md
+// documents; a single-core host omits it, since both rows necessarily run
+// on the same core there.
 func cmdBench(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	out := fs.String("out", "", "artifact path (default BENCH_<yyyy-mm-dd>.json; - for stdout only)")
@@ -90,6 +95,7 @@ func cmdBench(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%-40s %12.1f ns/op %8d B/op %6d allocs/op\n",
 			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 	}
+	ctx := context.Background()
 
 	received := make([]core.ValueFrom, 15)
 	rng := rand.New(rand.NewSource(1))
@@ -117,7 +123,7 @@ func cmdBench(args []string, stdout io.Writer) error {
 	const (
 		n, f, rounds = 16, 2, 100
 	)
-	g, err := topology.CoreNetwork(n, f)
+	g, err := iabc.CoreNetwork(n, f)
 	if err != nil {
 		return err
 	}
@@ -125,23 +131,29 @@ func cmdBench(args []string, stdout io.Writer) error {
 	for i := range initial {
 		initial[i] = float64(i)
 	}
-	engCfg := sim.Config{
-		G: g, F: f, Faulty: nodeset.FromMembers(n, 0, 1), Initial: initial,
-		Rule:      core.TrimmedMean{},
-		Adversary: adversary.Hug{High: true},
-		MaxRounds: rounds,
+	engOpts := func(extra ...iabc.Option) []iabc.Option {
+		return append([]iabc.Option{
+			iabc.WithF(f),
+			iabc.WithFaulty(0, 1),
+			iabc.WithInitial(initial),
+			iabc.WithAdversary(iabc.Hug{High: true}),
+			iabc.WithMaxRounds(rounds),
+		}, extra...)
 	}
-	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Concurrent{}, sim.Matrix{}} {
+	for _, eng := range []iabc.Engine{iabc.Sequential, iabc.ConcurrentPool, iabc.Matrix} {
 		eng := eng
-		run("engine/"+eng.Name()+"/core_n16_f2", func(b *testing.B) {
+		// Options are pure setters, so one slice serves every iteration —
+		// the loop measures the engine, not option-closure construction.
+		opts := engOpts(iabc.WithEngine(eng))
+		run("engine/"+eng.String()+"/core_n16_f2", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				tr, err := eng.Run(engCfg)
+				out, err := iabc.Simulate(ctx, g, opts...)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if tr.Rounds != rounds {
-					b.Fatalf("rounds = %d", tr.Rounds)
+				if out.Rounds != rounds {
+					b.Fatalf("rounds = %d", out.Rounds)
 				}
 			}
 			b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
@@ -156,11 +168,17 @@ func cmdBench(args []string, stdout io.Writer) error {
 		}
 		extras[x] = v
 	}
+	batchOpts := engOpts(iabc.WithEngine(iabc.Matrix), iabc.WithExtras(extras))
 	run("engine/matrix-batch64/core_n16_f2", func(b *testing.B) {
 		b.ReportAllocs()
+		scens := []iabc.Scenario{{Name: "base"}}
 		for i := 0; i < b.N; i++ {
-			if _, _, err := (sim.Matrix{}).RunBatch(engCfg, extras); err != nil {
+			res, err := iabc.Sweep(ctx, g, scens, batchOpts...)
+			if err != nil {
 				b.Fatal(err)
+			}
+			if len(res.Finals[0]) != batch {
+				b.Fatalf("finals = %d", len(res.Finals[0]))
 			}
 		}
 		b.ReportMetric(float64(rounds)*batch*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
@@ -169,55 +187,56 @@ func cmdBench(args []string, stdout io.Writer) error {
 	// Steady-state round loop with an EdgeWriter adversary: MaxRounds is b.N
 	// so one op is one round and setup amortizes away — allocs/op must
 	// report 0 (doc.go invariant 3).
-	for _, eng := range []sim.Engine{sim.Sequential{}, sim.Matrix{}} {
+	for _, eng := range []iabc.Engine{iabc.Sequential, iabc.Matrix} {
 		eng := eng
-		run("engine/"+eng.Name()+"-steady/core_n16_f2", func(b *testing.B) {
+		run("engine/"+eng.String()+"-steady/core_n16_f2", func(b *testing.B) {
 			b.ReportAllocs()
-			cfg := engCfg
-			cfg.MaxRounds = b.N
-			tr, err := eng.Run(cfg)
+			out, err := iabc.Simulate(ctx, g,
+				engOpts(iabc.WithEngine(eng), iabc.WithMaxRounds(b.N))...)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if tr.Rounds != b.N {
-				b.Fatalf("rounds = %d, want %d", tr.Rounds, b.N)
+			if out.Rounds != b.N {
+				b.Fatalf("rounds = %d, want %d", out.Rounds, b.N)
 			}
 		})
 	}
 
 	// Scenario batching: the same point re-simulated under 8 adversaries
-	// with the engine setup shared (sim.RunScenarios) — the sweep dimension
-	// the matrix replay cannot vary.
-	scenAdvs := []adversary.Strategy{
-		adversary.Hug{High: true}, adversary.Hug{},
-		adversary.Extremes{Amplitude: 50},
-		adversary.Fixed{Value: 1e6}, adversary.Fixed{Value: -1e6},
-		&adversary.Insider{High: true}, &adversary.Insider{},
-		adversary.Conforming{},
+	// with the engine setup shared — the sweep dimension the matrix replay
+	// cannot vary.
+	scenAdvs := []iabc.Strategy{
+		iabc.Hug{High: true}, iabc.Hug{},
+		iabc.Extremes{Amplitude: 50},
+		iabc.Fixed{Value: 1e6}, iabc.Fixed{Value: -1e6},
+		&iabc.Insider{High: true}, &iabc.Insider{},
+		iabc.Conforming{},
 	}
-	scens := make([]sim.Scenario, len(scenAdvs))
+	scens := make([]iabc.Scenario, len(scenAdvs))
 	for i, s := range scenAdvs {
-		scens[i] = sim.Scenario{Adversary: s}
+		scens[i] = iabc.Scenario{Adversary: s}
 	}
+	seqSweepOpts := engOpts()
 	run("engine/scenarios8/core_n16_f2", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			trs, err := sim.RunScenarios(engCfg, scens)
+			res, err := iabc.Sweep(ctx, g, scens, seqSweepOpts...)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if len(trs) != len(scens) {
-				b.Fatalf("traces = %d", len(trs))
+			if len(res.Traces) != len(scens) {
+				b.Fatalf("traces = %d", len(res.Traces))
 			}
 		}
 		b.ReportMetric(float64(rounds)*float64(len(scens))*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 	})
 	// The same sweep fanned across GOMAXPROCS workers, one private engine
 	// per worker — the multi-core scenario path behind `sweep -workers`.
+	parSweepOpts := engOpts(iabc.WithWorkers(0))
 	run("engine/scenarios8-workers/core_n16_f2", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := sim.Sweep(engCfg, scens, sim.SweepOptions{Workers: 0})
+			res, err := iabc.Sweep(ctx, g, scens, parSweepOpts...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -231,12 +250,11 @@ func cmdBench(args []string, stdout io.Writer) error {
 	// recorded once on the matrix engine and replayed over 64 extra initial
 	// vectors. The metric counts replayed vector-rounds only, comparable to
 	// matrix-batch64.
+	comboOpts := engOpts(iabc.WithEngine(iabc.Matrix), iabc.WithWorkers(0), iabc.WithExtras(extras))
 	run("engine/matrix-scenarios8-batch64/core_n16_f2", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := sim.Sweep(engCfg, scens, sim.SweepOptions{
-				Engine: sim.Matrix{}, Workers: 0, Extras: extras,
-			})
+			res, err := iabc.Sweep(ctx, g, scens, comboOpts...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -246,25 +264,52 @@ func cmdBench(args []string, stdout io.Writer) error {
 		}
 		b.ReportMetric(float64(rounds)*float64(len(scens))*batch*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
 	})
+	// The multi-core scaling measurement: speedup of the worker-fanned
+	// sweep over the single-worker one. Only recorded when there is more
+	// than one CPU — on a single core the ratio is ≈ 1 by construction and
+	// would pollute the artifact's trend.
+	if runtime.NumCPU() > 1 {
+		var seqNs float64
+		for _, r := range art.Results {
+			if r.Name == "engine/scenarios8/core_n16_f2" {
+				seqNs = r.NsPerOp
+			}
+		}
+		for i := range art.Results {
+			r := &art.Results[i]
+			if r.Name == "engine/scenarios8-workers/core_n16_f2" && seqNs > 0 {
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra["speedup_vs_scenarios8"] = seqNs / r.NsPerOp
+				r.Extra["workers"] = float64(runtime.GOMAXPROCS(0))
+				fmt.Fprintf(stdout, "%-40s %12.2fx speedup over scenarios8 (%d CPUs)\n",
+					"engine/scenarios8-workers (parallel)", seqNs/r.NsPerOp, runtime.NumCPU())
+			}
+		}
+	}
 
-	ag, err := topology.Complete(7)
+	ag, err := iabc.Complete(7)
 	if err != nil {
 		return err
 	}
 	run("async/complete_n7_f1", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			tr, err := async.Run(async.Config{
-				G: ag, F: 1, Faulty: nodeset.FromMembers(7, 6),
-				Initial: []float64{0, 1, 2, 3, 4, 5, 6}, Rule: core.TrimmedMean{},
-				Adversary: adversary.Extremes{Amplitude: 10},
-				Delays:    &async.Uniform{B: 2, Rng: rand.New(rand.NewSource(int64(i)))},
-				MaxRounds: 100, Epsilon: 1e-6,
-			})
+			out, err := iabc.Simulate(ctx, ag,
+				iabc.WithEngine(iabc.Async),
+				iabc.WithF(1),
+				iabc.WithFaulty(6),
+				iabc.WithInitial([]float64{0, 1, 2, 3, 4, 5, 6}),
+				iabc.WithAdversary(iabc.Extremes{Amplitude: 10}),
+				iabc.WithDelays(&iabc.UniformDelay{B: 2, Rng: rand.New(rand.NewSource(int64(i)))}),
+				iabc.WithMaxRounds(100),
+				iabc.WithEpsilon(1e-6),
+			)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if !tr.Converged {
+			if !out.Converged {
 				b.Fatal("did not converge")
 			}
 		}
@@ -274,14 +319,14 @@ func cmdBench(args []string, stdout io.Writer) error {
 	// suite's slowest row (~10 ms/op unpruned) into a sub-millisecond one,
 	// so it and the maxf scan now run in -short CI smoke too and sit under
 	// the -compare trend gate on every run.
-	cg, err := topology.CoreNetwork(13, 4)
+	cg, err := iabc.CoreNetwork(13, 4)
 	if err != nil {
 		return err
 	}
 	run("condition/check/core_n13_f4", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := condition.Check(cg, 4)
+			res, err := iabc.Check(ctx, cg, 4)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -290,14 +335,14 @@ func cmdBench(args []string, stdout io.Writer) error {
 			}
 		}
 	})
-	mg, err := topology.CoreNetwork(16, 2)
+	mg, err := iabc.CoreNetwork(16, 2)
 	if err != nil {
 		return err
 	}
 	run("condition/maxf/core_n16_f2", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			maxF, err := condition.MaxF(mg)
+			maxF, err := iabc.MaxF(ctx, mg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -309,14 +354,14 @@ func cmdBench(args []string, stdout io.Writer) error {
 	if !*short {
 		// Degree-regular circulants at small threshold admit most candidates,
 		// so this row tracks the checker's un-prunable worst case.
-		hg, err := topology.Chord(16, 2)
+		hg, err := iabc.Chord(16, 2)
 		if err != nil {
 			return err
 		}
 		run("condition/check/chord_n16_f2", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := condition.Check(hg, 2); err != nil {
+				if _, err := iabc.Check(ctx, hg, 2); err != nil {
 					b.Fatal(err)
 				}
 			}

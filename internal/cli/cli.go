@@ -1,6 +1,12 @@
+// Package cli implements the iabc command. It is a consumer of the public
+// iabc facade — the same API external programs use — plus the internal
+// experiment harness; it does not reach into internal/sim or
+// internal/condition directly (enforced by TestFacadeOnlyConsumers at the
+// repository root).
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -8,13 +14,8 @@ import (
 	"os"
 	"strings"
 
-	"iabc/internal/adversary"
-	"iabc/internal/analysis"
-	"iabc/internal/condition"
-	"iabc/internal/core"
+	"iabc"
 	"iabc/internal/experiments"
-	"iabc/internal/nodeset"
-	"iabc/internal/sim"
 )
 
 const usage = `iabc — iterative approximate Byzantine consensus (Vaidya, Tseng, Liang; PODC 2012)
@@ -87,16 +88,16 @@ func cmdCheck(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	screen := condition.QuickScreen(g, *f)
-	checkFn := condition.Check
+	screen := iabc.QuickScreen(g, *f)
+	var opts []iabc.Option
 	if *asyncMode {
-		screen = condition.QuickScreenAsync(g, *f)
-		checkFn = condition.CheckAsync
+		screen = iabc.QuickScreenAsync(g, *f)
+		opts = append(opts, iabc.WithAsyncCondition())
 	}
 	for _, v := range screen {
 		fmt.Fprintf(stdout, "screen: %s\n", v)
 	}
-	res, err := checkFn(g, *f)
+	res, err := iabc.Check(context.Background(), g, *f, opts...)
 	if err != nil {
 		return err
 	}
@@ -125,7 +126,7 @@ func cmdMaxF(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	maxF, stats, err := condition.MaxFWithStats(g)
+	maxF, stats, err := iabc.MaxFWithStats(context.Background(), g)
 	if err != nil {
 		return err
 	}
@@ -135,7 +136,7 @@ func cmdMaxF(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "maxf: none — even f=0 fails (multiple source components)")
 	default:
 		fmt.Fprintf(stdout, "maxf: %d\n", maxF)
-		if alpha, err := analysis.Alpha(g, maxF); err == nil {
+		if alpha, err := iabc.Alpha(g, maxF); err == nil {
 			fmt.Fprintf(stdout, "alpha at maxf: %.6f\n", alpha)
 		}
 	}
@@ -145,45 +146,17 @@ func cmdMaxF(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
-// adversaries maps CLI names to constructors (seeded where needed).
-func adversaryByName(name string, seed int64) (adversary.Strategy, error) {
-	switch name {
-	case "", "none", "conforming":
-		return adversary.Conforming{}, nil
-	case "fixed-high":
-		return adversary.Fixed{Value: 1e6}, nil
-	case "fixed-low":
-		return adversary.Fixed{Value: -1e6}, nil
-	case "silent":
-		return adversary.Silent{}, nil
-	case "noise":
-		return &adversary.RandomNoise{Rng: rand.New(rand.NewSource(seed)), Lo: -1e3, Hi: 1e3}, nil
-	case "extremes":
-		return adversary.Extremes{Amplitude: 100}, nil
-	case "hug-high":
-		return adversary.Hug{High: true}, nil
-	case "hug-low":
-		return adversary.Hug{}, nil
-	case "insider-high":
-		return &adversary.Insider{High: true}, nil
-	case "insider-low":
-		return &adversary.Insider{}, nil
-	default:
-		return nil, fmt.Errorf("cli: unknown adversary %q (conforming|fixed-high|fixed-low|silent|noise|extremes|hug-high|hug-low|insider-high|insider-low)", name)
-	}
-}
-
 // engineByName resolves the -engine flag shared by run and sweep.
-func engineByName(name string) (sim.Engine, error) {
+func engineByName(name string) (iabc.Engine, error) {
 	switch name {
 	case "sequential":
-		return sim.Sequential{}, nil
+		return iabc.Sequential, nil
 	case "concurrent":
-		return sim.Concurrent{}, nil
+		return iabc.ConcurrentPool, nil
 	case "matrix":
-		return sim.Matrix{}, nil
+		return iabc.Matrix, nil
 	default:
-		return nil, fmt.Errorf("cli: unknown engine %q (sequential|concurrent|matrix)", name)
+		return 0, fmt.Errorf("cli: unknown engine %q (sequential|concurrent|matrix)", name)
 	}
 }
 
@@ -211,14 +184,8 @@ func cmdRun(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	faulty := nodeset.New(n)
-	for _, id := range ids {
-		if id < 0 || id >= n {
-			return fmt.Errorf("cli: faulty node %d out of range [0,%d)", id, n)
-		}
-		faulty.Add(id)
-	}
-	strat, err := adversaryByName(*advName, *seed)
+	// Bounds checks on ids are the facade's job (WithFaulty/Simulate).
+	strat, err := iabc.AdversaryByName(*advName, *seed)
 	if err != nil {
 		return err
 	}
@@ -231,15 +198,23 @@ func cmdRun(args []string, stdin io.Reader, stdout io.Writer) error {
 	for i := range initial {
 		initial[i] = rng.Float64() * 100
 	}
-	tr, err := engine.Run(sim.Config{
-		G: g, F: *f, Faulty: faulty, Initial: initial,
-		Rule: core.TrimmedMean{}, Adversary: strat,
-		MaxRounds: *rounds, Epsilon: *eps,
-		RecordStates: *csvPath != "",
-	})
+	opts := []iabc.Option{
+		iabc.WithEngine(engine),
+		iabc.WithF(*f),
+		iabc.WithFaulty(ids...),
+		iabc.WithInitial(initial),
+		iabc.WithAdversary(strat),
+		iabc.WithMaxRounds(*rounds),
+		iabc.WithEpsilon(*eps),
+	}
+	if *csvPath != "" {
+		opts = append(opts, iabc.WithRecordStates())
+	}
+	out, err := iabc.Simulate(context.Background(), g, opts...)
 	if err != nil {
 		return err
 	}
+	tr := out.Trace
 	if *csvPath != "" {
 		file, err := os.Create(*csvPath)
 		if err != nil {
@@ -255,7 +230,7 @@ func cmdRun(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "trace written to %s\n", *csvPath)
 	}
 	fmt.Fprintf(stdout, "graph: %s  f=%d  faulty=%s  adversary=%s  engine=%s\n",
-		g, *f, faulty, strat.Name(), engine.Name())
+		g, *f, iabc.SetOf(n, ids...), strat.Name(), engine)
 	if *every > 0 {
 		for r := 0; r <= tr.Rounds; r += *every {
 			fmt.Fprintf(stdout, "round %6d  U=%.8f  µ=%.8f  range=%.3e\n",
@@ -263,7 +238,7 @@ func cmdRun(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	fmt.Fprintf(stdout, "rounds: %d  converged: %v  final range: %.3e\n",
-		tr.Rounds, tr.Converged, tr.FinalRange())
+		out.Rounds, out.Converged, out.FinalRange)
 	if round, bad := tr.ValidityViolation(1e-9); bad {
 		fmt.Fprintf(stdout, "VALIDITY VIOLATED at round %d\n", round)
 	} else {

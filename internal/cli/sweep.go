@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -11,13 +12,7 @@ import (
 	"strconv"
 	"strings"
 
-	"iabc/internal/adversary"
-	"iabc/internal/condition"
-	"iabc/internal/core"
-	"iabc/internal/graph"
-	"iabc/internal/nodeset"
-	"iabc/internal/sim"
-	"iabc/internal/topology"
+	"iabc"
 	"iabc/internal/workload"
 )
 
@@ -35,7 +30,7 @@ func cmdRepair(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := condition.Repair(g, *f, *maxEdges)
+	res, err := iabc.Repair(g, *f, *maxEdges)
 	if err != nil {
 		return err
 	}
@@ -59,14 +54,18 @@ func cmdRepair(args []string, stdin io.Reader, stdout io.Writer) error {
 // CSV — the raw series behind convergence-vs-size figures.
 //
 // With -adversaries a,b,c every point is re-simulated under each listed
-// strategy through sim.Sweep, which shares the per-graph engine setup
-// (pooled ScenarioRunners) across the batch; -engine selects which pooled
-// engine runs the scenarios and -workers fans them across cores (0 =
-// GOMAXPROCS). With -engine matrix, -batch K composes the second batching
-// dimension: each scenario's recorded round programs are replayed over K
-// perturbed initial vectors and the per-row scenario_final_range_max column
-// reports the worst final range across them. The legacy -scenarios K flag is
-// the single-config form of the same replay (base adversary only).
+// strategy through iabc.Sweep, which shares the per-graph engine setup
+// (pooled runners) across the batch; -engine selects which pooled engine
+// runs the scenarios and -workers fans them across cores (0 = GOMAXPROCS).
+// With -engine matrix, -batch K composes the second batching dimension:
+// each scenario's recorded round programs are replayed over K perturbed
+// initial vectors and the per-row scenario_final_range_max column reports
+// the worst final range across them. The legacy -scenarios K flag is the
+// single-config form of the same replay (base adversary only).
+//
+// Any failing scenario aborts the sweep with a non-zero exit and an error
+// naming the scenario's index and name — the same contract on every
+// engine, pinned by TestSweepNamesFailingScenario.
 func cmdSweep(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	family := fs.String("family", "core", "core|chord|complete|circulant")
@@ -128,21 +127,21 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		effWorkers = runtime.GOMAXPROCS(0)
 	}
 
-	var build func(n int) (*graph.Graph, error)
+	var build func(n int) (*iabc.Graph, error)
 	switch *family {
 	case "core":
-		build = func(n int) (*graph.Graph, error) { return topology.CoreNetwork(n, *f) }
+		build = func(n int) (*iabc.Graph, error) { return iabc.CoreNetwork(n, *f) }
 	case "chord":
-		build = func(n int) (*graph.Graph, error) { return topology.Chord(n, *f) }
+		build = func(n int) (*iabc.Graph, error) { return iabc.Chord(n, *f) }
 	case "complete":
-		build = func(n int) (*graph.Graph, error) { return topology.Complete(n) }
+		build = func(n int) (*iabc.Graph, error) { return iabc.Complete(n) }
 	case "circulant":
-		build = func(n int) (*graph.Graph, error) {
+		build = func(n int) (*iabc.Graph, error) {
 			offs := make([]int, 2*(*f)+1)
 			for i := range offs {
 				offs[i] = i + 1
 			}
-			return topology.Circulant(n, offs)
+			return iabc.Circulant(n, offs)
 		}
 	default:
 		return fmt.Errorf("cli: unknown family %q (core|chord|complete|circulant)", *family)
@@ -158,11 +157,11 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	if *advList != "" {
 		advNames = strings.Split(*advList, ",")
 	}
-	strats := make([]adversary.Strategy, len(advNames))
+	strats := make([]iabc.Strategy, len(advNames))
 	for i, name := range advNames {
 		name = strings.TrimSpace(name)
 		advNames[i] = name
-		if strats[i], err = adversaryByName(name, *seed); err != nil {
+		if strats[i], err = iabc.AdversaryByName(name, *seed); err != nil {
 			return err
 		}
 	}
@@ -175,7 +174,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	}
 	// maxFinalRange is the worst fault-free final range across a batch of
 	// replayed final-state vectors.
-	maxFinalRange := func(finals [][]float64, faultFree nodeset.Set) string {
+	maxFinalRange := func(finals [][]float64, faultFree iabc.Set) string {
 		maxRange := 0.0
 		for _, final := range finals {
 			lo, hi := math.Inf(1), math.Inf(-1)
@@ -202,48 +201,57 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		}
 		return extras
 	}
+	ctx := context.Background()
 	for n := *from; n <= *to; n++ {
 		g, err := build(n)
 		if err != nil {
 			// Families have their own minimum sizes; skip points below.
 			continue
 		}
-		chk, err := condition.CheckParallel(g, *f, 0)
+		chk, err := iabc.Check(ctx, g, *f, iabc.WithWorkers(0))
 		if err != nil {
 			return err
 		}
-		cfg := sim.Config{
-			G: g, F: *f, Faulty: firstNodes(n, *f),
-			Initial:   workload.Bimodal(n, 0, 1),
-			Rule:      core.TrimmedMean{},
-			Adversary: strats[0],
-			MaxRounds: *rounds, Epsilon: *eps,
+		faultyIDs := firstNodes(n, *f)
+		baseOpts := func(extra ...iabc.Option) []iabc.Option {
+			return append([]iabc.Option{
+				iabc.WithEngine(engine),
+				iabc.WithF(*f),
+				iabc.WithFaulty(faultyIDs...),
+				iabc.WithInitial(workload.Bimodal(n, 0, 1)),
+				iabc.WithAdversary(strats[0]),
+				iabc.WithMaxRounds(*rounds),
+				iabc.WithEpsilon(*eps),
+			}, extra...)
 		}
-		var traces []*sim.Trace
+		var traces []*iabc.Trace
 		rowRanges := make([]string, len(advNames))
 		rowWorkers := 1
 		if chk.Satisfied {
 			switch {
 			case *scenarios > 0:
-				tr, finals, err := sim.Matrix{}.RunBatch(cfg, perturbedInitials(n, *scenarios))
+				// Matrix replay of the base adversary: a one-scenario sweep
+				// carrying the extra initial vectors.
+				res, err := iabc.Sweep(ctx, g, []iabc.Scenario{{Name: advNames[0]}},
+					baseOpts(iabc.WithExtras(perturbedInitials(n, *scenarios)))...)
 				if err != nil {
 					return err
 				}
-				rowRanges[0] = maxFinalRange(finals, tr.FaultFree)
-				traces = []*sim.Trace{tr}
+				rowRanges[0] = maxFinalRange(res.Finals[0], res.Traces[0].FaultFree)
+				traces = res.Traces
 			case useSweep:
 				// One pooled engine setup per worker per point, re-simulated
 				// under every listed adversary; with -batch each scenario's
 				// recorded programs also replay the perturbed initials.
-				scens := make([]sim.Scenario, len(strats))
+				scens := make([]iabc.Scenario, len(strats))
 				for i, s := range strats {
-					scens[i] = sim.Scenario{Name: advNames[i], Adversary: s}
+					scens[i] = iabc.Scenario{Name: advNames[i], Adversary: s}
 				}
-				opts := sim.SweepOptions{Engine: engine, Workers: *workers}
+				opts := baseOpts(iabc.WithWorkers(*workers))
 				if *batch > 0 {
-					opts.Extras = perturbedInitials(n, *batch)
+					opts = append(opts, iabc.WithExtras(perturbedInitials(n, *batch)))
 				}
-				res, err := sim.Sweep(cfg, scens, opts)
+				res, err := iabc.Sweep(ctx, g, scens, opts...)
 				if err != nil {
 					return err
 				}
@@ -251,20 +259,20 @@ func cmdSweep(args []string, stdout io.Writer) error {
 				for i := range res.Finals {
 					rowRanges[i] = maxFinalRange(res.Finals[i], traces[i].FaultFree)
 				}
-				// Report what actually ran: Sweep never spins up more
+				// Report what actually ran: a sweep never spins up more
 				// workers than there are scenarios.
 				rowWorkers = min(effWorkers, len(scens))
 			default:
-				tr, err := engine.Run(cfg)
+				out, err := iabc.Simulate(ctx, g, baseOpts()...)
 				if err != nil {
 					return err
 				}
-				traces = []*sim.Trace{tr}
+				traces = []*iabc.Trace{out.Trace}
 			}
 		}
 		for i, name := range advNames {
 			row := []string{*family, strconv.Itoa(n), strconv.Itoa(*f),
-				engine.Name(), strconv.Itoa(rowWorkers), name,
+				engine.String(), strconv.Itoa(rowWorkers), name,
 				strconv.FormatBool(chk.Satisfied), "", "", rowRanges[i]}
 			if i < len(traces) {
 				row[7] = strconv.Itoa(traces[i].Rounds)
@@ -279,13 +287,12 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	return cw.Error()
 }
 
-// firstNodes returns {0, ..., k-1} over n nodes — the sweep places faults
-// on the lowest IDs, which in core networks is inside the core (the
-// hardest position).
-func firstNodes(n, k int) nodeset.Set {
-	s := nodeset.New(n)
+// firstNodes returns {0, ..., k-1} — the sweep places faults on the lowest
+// IDs, which in core networks is inside the core (the hardest position).
+func firstNodes(n, k int) []int {
+	var ids []int
 	for i := 0; i < k && i < n; i++ {
-		s.Add(i)
+		ids = append(ids, i)
 	}
-	return s
+	return ids
 }

@@ -236,6 +236,34 @@ func TestSweepChordShowsViolations(t *testing.T) {
 	}
 }
 
+// TestSweepNamesFailingScenario pins the CLI-level error contract: a
+// failing scenario makes `iabc sweep` exit non-zero with an error naming
+// the scenario's index and name — identically on every engine. The failure
+// vector is a per-scenario validation error (-rounds 0 fails each derived
+// config's MaxRounds check), which the sweep wraps with the scenario label
+// before the CLI surfaces it.
+func TestSweepNamesFailingScenario(t *testing.T) {
+	for _, engine := range []string{"sequential", "concurrent", "matrix"} {
+		t.Run(engine, func(t *testing.T) {
+			code, _, stderr := run(t, "", "sweep", "-family", "core", "-f", "1", "-to", "4",
+				"-adversaries", "extremes,hug-high", "-engine", engine, "-rounds", "0")
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1 (stderr %q)", code, stderr)
+			}
+			if !strings.Contains(stderr, "scenario 0 (extremes)") {
+				t.Errorf("stderr does not name the failing scenario index and name: %q", stderr)
+			}
+		})
+	}
+	// The single-scenario -batch replay path reports through the same
+	// contract.
+	code, _, stderr := run(t, "", "sweep", "-family", "core", "-f", "1", "-to", "4",
+		"-batch", "2", "-rounds", "0")
+	if code != 1 || !strings.Contains(stderr, "scenario 0 (extremes)") {
+		t.Errorf("-batch path: code=%d stderr=%q", code, stderr)
+	}
+}
+
 func TestSweepErrors(t *testing.T) {
 	code, _, _ := run(t, "", "sweep", "-family", "klein-bottle")
 	if code != 1 {

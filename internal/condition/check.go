@@ -1,6 +1,7 @@
 package condition
 
 import (
+	"context"
 	"fmt"
 
 	"iabc/internal/graph"
@@ -149,44 +150,11 @@ func CheckAsync(g *graph.Graph, f int) (Result, error) {
 // empty-complement memo (see findDisjointInsulatedPair); Result reports the
 // savings as CandidatesPruned and MemoHits. The returned witness is
 // re-verifiable via (*Witness).Verify.
+//
+// CheckThreshold is the sequential, uncancellable form; CheckScan is the
+// full coordinator with context, workers, and progress streaming.
 func CheckThreshold(g *graph.Graph, f, threshold int) (Result, error) {
-	n := g.N()
-	if f < 0 {
-		return Result{}, fmt.Errorf("condition: f must be >= 0, got %d", f)
-	}
-	if threshold < 1 {
-		return Result{}, fmt.Errorf("condition: threshold must be >= 1, got %d", threshold)
-	}
-	if n-f > 62 {
-		return Result{}, fmt.Errorf("condition: exact check infeasible for n-f = %d > 62 nodes", n-f)
-	}
-	universe := nodeset.Universe(n)
-	res := Result{Satisfied: true}
-	scratch := newInsulationScratch(g)
-	var counters checkCounters
-
-	for fSize := 0; fSize <= f && fSize <= n; fSize++ {
-		nodeset.SubsetsAscendingSize(universe, fSize, fSize, func(fSet nodeset.Set) bool {
-			res.FaultSetsExamined++
-			ground := universe.Difference(fSet)
-			w := findDisjointInsulatedPair(scratch, ground, threshold, &counters)
-			if w != nil {
-				w.F = fSet.Clone()
-				w.C = ground.Difference(w.L).Difference(w.R)
-				res.Satisfied = false
-				res.Witness = w
-				return false
-			}
-			return true
-		})
-		if !res.Satisfied {
-			break
-		}
-	}
-	res.CandidatesExamined = counters.candidates
-	res.CandidatesPruned = counters.pruned
-	res.MemoHits = counters.memoHits
-	return res, nil
+	return CheckScan(context.Background(), g, f, threshold, 1, nil)
 }
 
 // isInsulated reports whether every node of x has at most threshold-1
@@ -332,17 +300,55 @@ type MaxFStats struct {
 
 // MaxFWithStats is MaxF plus the aggregated work counters of the scan.
 func MaxFWithStats(g *graph.Graph) (int, MaxFStats, error) {
+	return MaxFScan(context.Background(), g, MaxFOptions{})
+}
+
+// MaxFOptions configures MaxFScan.
+type MaxFOptions struct {
+	// Workers is the per-check worker count (see CheckScan); 0 — the zero
+	// value — runs the sequential scan, < 0 selects GOMAXPROCS.
+	Workers int
+	// OnCheck, when non-nil, is invoked after each completed Check with the
+	// f just decided and its Result — the f-sweep's progress stream.
+	OnCheck func(f int, res Result)
+	// OnProgress, when non-nil, streams the inner fault-set progress of the
+	// check currently running at f (see ProgressFunc for the concurrency
+	// contract).
+	OnProgress func(f int, p Progress)
+}
+
+// MaxFScan is the full MaxF coordinator: the monotone f-sweep with context
+// cancellation (checked at fault-set granularity inside each CheckScan),
+// a per-check worker count, and progress callbacks. On error — including
+// cancellation — it returns the best f decided so far and the stats
+// accumulated up to the point of interruption.
+func MaxFScan(ctx context.Context, g *graph.Graph, opts MaxFOptions) (int, MaxFStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 1
+	}
 	best := -1
 	var stats MaxFStats
 	for f := 0; 3*f < g.N(); f++ {
-		res, err := Check(g, f)
+		var progress ProgressFunc
+		if opts.OnProgress != nil {
+			f := f
+			progress = func(p Progress) { opts.OnProgress(f, p) }
+		}
+		res, err := CheckScan(ctx, g, f, SyncThreshold(f), workers, progress)
 		stats.ChecksRun++
 		stats.FaultSetsExamined += res.FaultSetsExamined
 		stats.CandidatesExamined += res.CandidatesExamined
 		stats.CandidatesPruned += res.CandidatesPruned
 		stats.MemoHits += res.MemoHits
 		if err != nil {
-			return best, stats, err
+			return best, stats, fmt.Errorf("condition: maxf scan at f=%d: %w", f, err)
+		}
+		if opts.OnCheck != nil {
+			opts.OnCheck(f, res)
 		}
 		if !res.Satisfied {
 			break

@@ -1,6 +1,7 @@
 package condition
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,22 +11,62 @@ import (
 	"iabc/internal/nodeset"
 )
 
-// CheckParallel is Check with the fault-set enumeration fanned out across
-// worker goroutines. The verdict is identical to Check's, and so is the
-// witness: workers race, but the reported witness always comes from the
-// lowest-indexed failing fault set in canonical enumeration order, which is
-// the one the sequential checker would return.
+// Progress is a streaming snapshot of an exact check's fault-set scan.
+type Progress struct {
+	// FaultSetsDone counts the fault sets fully processed so far.
+	FaultSetsDone int64
+	// FaultSetsTotal is Σ_{k≤f} C(n,k) — the scan's full extent — or 0 when
+	// it exceeds the int64 binomial table (n > 62), in which case only
+	// FaultSetsDone is meaningful.
+	FaultSetsTotal int64
+}
+
+// ProgressFunc receives Progress snapshots, one per processed fault set.
+// With workers > 1 it is invoked concurrently from worker goroutines and
+// must be safe for concurrent use; it runs on the scan's hot path, so it
+// must be fast.
+type ProgressFunc func(Progress)
+
+// totalFaultSets returns Σ_{k=0..f} C(n,k), or 0 when n is outside the
+// binomial table (the count is only reported, never used for control flow).
+func totalFaultSets(n, f int) int64 {
+	if n > 62 {
+		return 0
+	}
+	var total int64
+	for k := 0; k <= f && k <= n; k++ {
+		total += binom(n, k)
+	}
+	return total
+}
+
+// CheckScan is the full exact-check coordinator behind CheckThreshold and
+// CheckParallel: it decides the Theorem 1 condition at the given in-link
+// threshold with a configurable worker count, honoring ctx and streaming
+// per-fault-set progress.
 //
-// workers ≤ 0 selects GOMAXPROCS. The speedup tracks core count when the
-// cost is spread over many fault sets (large n, f ≥ 2) — per-fault-set work
-// is independent and lock-free — though coordination overhead caps the gain
-// on few-core machines. For trivially small inputs the sequential path is
-// used directly.
-func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
-	threshold := SyncThreshold(f)
+// Cancellation is checked between fault sets — never inside the candidate
+// enumeration — so CheckScan returns within one fault set's scan time of
+// ctx being canceled. On cancellation (or any error) the returned Result
+// carries the work counters accumulated so far, but Satisfied and Witness
+// are meaningless; the error wraps ctx.Err() together with how far the scan
+// got.
+//
+// workers ≤ 0 selects GOMAXPROCS; 1 (or trivially small inputs) runs the
+// sequential scan. The verdict and witness are identical at every worker
+// count: workers race, but the reported witness always comes from the
+// lowest-indexed failing fault set in canonical enumeration order, which is
+// the one the sequential scan would return.
+func CheckScan(ctx context.Context, g *graph.Graph, f, threshold, workers int, onProgress ProgressFunc) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.N()
 	if f < 0 {
 		return Result{}, fmt.Errorf("condition: f must be >= 0, got %d", f)
+	}
+	if threshold < 1 {
+		return Result{}, fmt.Errorf("condition: threshold must be >= 1, got %d", threshold)
 	}
 	if n-f > 62 {
 		return Result{}, fmt.Errorf("condition: exact check infeasible for n-f = %d > 62 nodes", n-f)
@@ -34,11 +75,64 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || n < 8 {
-		return CheckThreshold(g, f, threshold)
+		return checkSequential(ctx, g, f, threshold, onProgress)
 	}
+	return checkParallel(ctx, g, f, threshold, workers, onProgress)
+}
 
+// checkSequential is the single-goroutine fault-set scan — the reference
+// enumeration order the parallel scan's witness selection reproduces.
+func checkSequential(ctx context.Context, g *graph.Graph, f, threshold int, onProgress ProgressFunc) (Result, error) {
+	n := g.N()
+	universe := nodeset.Universe(n)
+	total := totalFaultSets(n, f)
+	res := Result{Satisfied: true}
+	scratch := newInsulationScratch(g)
+	var counters checkCounters
+	var scanErr error
+
+	for fSize := 0; fSize <= f && fSize <= n; fSize++ {
+		nodeset.SubsetsAscendingSize(universe, fSize, fSize, func(fSet nodeset.Set) bool {
+			if ctx.Err() != nil {
+				scanErr = fmt.Errorf("condition: check canceled after %d/%d fault sets: %w",
+					res.FaultSetsExamined, total, context.Cause(ctx))
+				return false
+			}
+			res.FaultSetsExamined++
+			ground := universe.Difference(fSet)
+			w := findDisjointInsulatedPair(scratch, ground, threshold, &counters)
+			if w != nil {
+				w.F = fSet.Clone()
+				w.C = ground.Difference(w.L).Difference(w.R)
+				res.Satisfied = false
+				res.Witness = w
+				return false
+			}
+			if onProgress != nil {
+				onProgress(Progress{FaultSetsDone: res.FaultSetsExamined, FaultSetsTotal: total})
+			}
+			return true
+		})
+		if !res.Satisfied || scanErr != nil {
+			break
+		}
+	}
+	res.CandidatesExamined = counters.candidates
+	res.CandidatesPruned = counters.pruned
+	res.MemoHits = counters.memoHits
+	if scanErr != nil {
+		// The verdict is undecided on an interrupted scan; only the work
+		// counters are meaningful.
+		res.Satisfied = false
+	}
+	return res, scanErr
+}
+
+// checkParallel fans the fault-set enumeration across worker goroutines.
+func checkParallel(ctx context.Context, g *graph.Graph, f, threshold, workers int, onProgress ProgressFunc) (Result, error) {
+	n := g.N()
 	// Materialize the fault sets in canonical (size-ascending, then
-	// combination-lexicographic) order — the same order CheckThreshold
+	// combination-lexicographic) order — the same order checkSequential
 	// visits them.
 	universe := nodeset.Universe(n)
 	var faultSets []nodeset.Set
@@ -48,11 +142,13 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 			return true
 		})
 	}
+	total := totalFaultSets(n, f)
 
 	witnesses := make([]*Witness, len(faultSets))
 	var (
 		next       atomic.Int64
 		bestFail   atomic.Int64
+		canceled   atomic.Bool
 		candidates atomic.Int64
 		pruned     atomic.Int64
 		memoHits   atomic.Int64
@@ -74,9 +170,13 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 				pruned.Add(local.pruned)
 				memoHits.Add(local.memoHits)
 			}()
-			for {
+			for !canceled.Load() {
 				i := next.Add(1) - 1
 				if i >= int64(len(faultSets)) {
+					return
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
 					return
 				}
 				if i > bestFail.Load() {
@@ -84,11 +184,14 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 					// find here would be discarded.
 					continue
 				}
-				examined.Add(1)
+				done := examined.Add(1)
 				fSet := faultSets[i]
 				ground := universe.Difference(fSet)
 				wit := findDisjointInsulatedPair(scratch, ground, threshold, &local)
 				if wit == nil {
+					if onProgress != nil {
+						onProgress(Progress{FaultSetsDone: done, FaultSetsTotal: total})
+					}
 					continue
 				}
 				wit.F = fSet.Clone()
@@ -113,9 +216,25 @@ func CheckParallel(g *graph.Graph, f, workers int) (Result, error) {
 		CandidatesPruned:   pruned.Load(),
 		MemoHits:           memoHits.Load(),
 	}
+	if canceled.Load() {
+		res.Satisfied = false
+		return res, fmt.Errorf("condition: check canceled after %d/%d fault sets: %w",
+			examined.Load(), total, context.Cause(ctx))
+	}
 	if b := bestFail.Load(); b < int64(len(faultSets)) {
 		res.Satisfied = false
 		res.Witness = witnesses[b]
 	}
 	return res, nil
+}
+
+// CheckParallel is Check with the fault-set enumeration fanned out across
+// worker goroutines — CheckScan at the synchronous threshold, without
+// progress streaming. The verdict and witness are identical to Check's.
+//
+// The speedup tracks core count when the cost is spread over many fault
+// sets (large n, f ≥ 2) — per-fault-set work is independent and lock-free —
+// though coordination overhead caps the gain on few-core machines.
+func CheckParallel(ctx context.Context, g *graph.Graph, f, workers int) (Result, error) {
+	return CheckScan(ctx, g, f, SyncThreshold(f), workers, nil)
 }

@@ -1,7 +1,11 @@
 package condition
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"iabc/internal/topology"
@@ -20,7 +24,7 @@ func TestCheckParallelMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := CheckParallel(g, f, 4)
+		par, err := CheckParallel(context.Background(), g, f, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,7 +50,7 @@ func TestCheckParallelPaperCases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CheckParallel(c7, 2, 8)
+	res, err := CheckParallel(context.Background(), c7, 2, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +61,7 @@ func TestCheckParallelPaperCases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = CheckParallel(cn, 3, 8)
+	res, err = CheckParallel(context.Background(), cn, 3, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +78,7 @@ func TestCheckParallelDefaultsAndSmallInputs(t *testing.T) {
 	// workers <= 0 → GOMAXPROCS; n < 8 → sequential fallback. Both paths
 	// must agree with Check.
 	for _, workers := range []int{-1, 0, 1, 2, 16} {
-		res, err := CheckParallel(g, 1, workers)
+		res, err := CheckParallel(context.Background(), g, 1, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,8 +86,115 @@ func TestCheckParallelDefaultsAndSmallInputs(t *testing.T) {
 			t.Fatalf("workers=%d: K4 f=1 should satisfy", workers)
 		}
 	}
-	if _, err := CheckParallel(g, -1, 2); err == nil {
+	if _, err := CheckParallel(context.Background(), g, -1, 2); err == nil {
 		t.Error("negative f should error")
+	}
+}
+
+// TestCheckScanCancellation pins the context contract at both worker
+// counts: a canceled scan stops at fault-set granularity, wraps
+// context.Canceled with the progress made, and leaves the work counters
+// populated.
+func TestCheckScanCancellation(t *testing.T) {
+	g, err := topology.CoreNetwork(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run("pre-canceled", func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			res, err := CheckScan(ctx, g, 2, SyncThreshold(2), workers, nil)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
+			}
+			if !strings.Contains(err.Error(), "canceled after") {
+				t.Errorf("workers=%d: error does not report progress: %v", workers, err)
+			}
+			if res.Satisfied {
+				t.Errorf("workers=%d: canceled scan must not report Satisfied", workers)
+			}
+		})
+		t.Run("mid-scan", func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			var fired atomic.Int64
+			progress := func(p Progress) {
+				if p.FaultSetsTotal == 0 {
+					t.Error("fault-set total missing for n ≤ 62")
+				}
+				if fired.Add(1) == 3 {
+					cancel()
+				}
+			}
+			_, err := CheckScan(ctx, g, 2, SyncThreshold(2), workers, progress)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
+			}
+			total := totalFaultSets(g.N(), 2)
+			if n := fired.Load(); n >= total {
+				t.Errorf("workers=%d: scan processed all %d fault sets despite cancellation", workers, n)
+			}
+		})
+	}
+}
+
+// TestCheckScanProgress checks the streaming counters: one snapshot per
+// processed fault set, reaching the exact Σ C(n,k) total on a satisfied
+// scan.
+func TestCheckScanProgress(t *testing.T) {
+	g := mustComplete(t, 9)
+	want := totalFaultSets(9, 2) // 1 + 9 + 36
+	var calls int64
+	res, err := CheckScan(context.Background(), g, 2, SyncThreshold(2), 1, func(p Progress) {
+		calls++
+		if p.FaultSetsDone != calls || p.FaultSetsTotal != want {
+			t.Fatalf("progress %+v at call %d (total %d)", p, calls, want)
+		}
+	})
+	if err != nil || !res.Satisfied {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if calls != want {
+		t.Fatalf("progress calls = %d, want %d", calls, want)
+	}
+}
+
+// TestMaxFScanCallbacks drives the full coordinator: per-check completions
+// arrive in ascending f, and cancellation surfaces partial stats.
+func TestMaxFScanCallbacks(t *testing.T) {
+	g := mustComplete(t, 10)
+	var checked []int
+	best, stats, err := MaxFScan(context.Background(), g, MaxFOptions{
+		Workers: 2,
+		OnCheck: func(f int, res Result) {
+			checked = append(checked, f)
+			if !res.Satisfied && f <= 3 {
+				t.Errorf("K10 must satisfy f=%d", f)
+			}
+		},
+	})
+	if err != nil || best != 3 {
+		t.Fatalf("best=%d err=%v, want 3", best, err)
+	}
+	// OnCheck fires for every completed check, including the failing f that
+	// ends the scan.
+	if len(checked) != stats.ChecksRun {
+		t.Fatalf("OnCheck calls = %d, ChecksRun = %d", len(checked), stats.ChecksRun)
+	}
+	for i, f := range checked {
+		if f != i {
+			t.Fatalf("OnCheck order = %v", checked)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	best, stats, err = MaxFScan(ctx, g, MaxFOptions{})
+	if !errors.Is(err, context.Canceled) || best != -1 {
+		t.Fatalf("canceled scan: best=%d err=%v", best, err)
+	}
+	if stats.ChecksRun == 0 {
+		t.Error("canceled scan should still report the interrupted check in stats")
 	}
 }
 
@@ -92,7 +203,7 @@ func TestCheckParallelInfeasibleSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := CheckParallel(big, 0, 4); err == nil {
+	if _, err := CheckParallel(context.Background(), big, 0, 4); err == nil {
 		t.Error("n-f > 62 should be rejected")
 	}
 }

@@ -1,6 +1,7 @@
 package condition
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -88,7 +89,7 @@ func TestPrunedCheckBitIdenticalToReference(t *testing.T) {
 					t.Fatalf("trial %d f=%d: pruned witness fails Verify: %v", trial, f, err)
 				}
 			}
-			par, err := CheckParallel(g, f, 3)
+			par, err := CheckParallel(context.Background(), g, f, 3)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -202,7 +203,7 @@ func TestPrunedCountersAccounting(t *testing.T) {
 		}
 		prevExamined, prevPruned, prevFaultSets = res.CandidatesExamined, res.CandidatesPruned, res.FaultSetsExamined
 
-		par, err := CheckParallel(g, f, 4)
+		par, err := CheckParallel(context.Background(), g, f, 4)
 		if err != nil {
 			t.Fatal(err)
 		}

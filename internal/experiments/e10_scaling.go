@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -26,6 +27,16 @@ import (
 type E10Result struct {
 	Checker []E10CheckerRow
 	Engines []E10EngineRow
+	// ParallelSpeedup is the measured scenarios(8)×workers(P) throughput
+	// over the single-worker scenarios(8) row — the multi-core scaling
+	// number the parallel sweep exists for. It is recorded only when the
+	// host has more than one CPU (a single-core host runs both rows on the
+	// same core, making the ratio ≈ 1 by construction; see the
+	// "Parallel-sweep scaling caveat" in EXPERIMENTS.md); 0 means
+	// not measured.
+	ParallelSpeedup float64
+	// SpeedupWorkers is the worker count P behind ParallelSpeedup.
+	SpeedupWorkers int
 }
 
 // E10CheckerRow is one condition-check cost measurement.
@@ -70,7 +81,12 @@ func (r *E10Result) Table() string {
 			e.Engine, fmt.Sprint(e.N), fmt.Sprint(e.Rounds), fmt.Sprintf("%.0f", e.RoundsPerSec),
 		})
 	}
-	return out + table([]string{"engine", "n", "rounds", "rounds/sec"}, engRows)
+	out += table([]string{"engine", "n", "rounds", "rounds/sec"}, engRows)
+	if r.ParallelSpeedup > 0 {
+		out += fmt.Sprintf("parallel sweep speedup: %.2fx (scenarios(8)×workers(%d) vs scenarios(8), %d CPUs)\n",
+			r.ParallelSpeedup, r.SpeedupWorkers, runtime.NumCPU())
+	}
+	return out
 }
 
 // E10Scaling measures checker work on core networks (n = 3f+1 with growing
@@ -181,7 +197,7 @@ func E10Scaling() (*E10Result, error) {
 	// machines. Adversary instances are per-scenario, so nothing races.
 	workers := runtime.GOMAXPROCS(0)
 	start = time.Now()
-	parRes, err := sim.Sweep(engCfg, scens, sim.SweepOptions{Workers: workers})
+	parRes, err := sim.Sweep(context.Background(), engCfg, scens, sim.SweepOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -194,11 +210,21 @@ func E10Scaling() (*E10Result, error) {
 		Engine: fmt.Sprintf("scenarios(%d)×workers(%d)", len(scens), workers), N: 16, Rounds: total,
 		RoundsPerSec: float64(total) / elapsed.Seconds(),
 	})
+	// The multi-core scaling ratio the ROADMAP left open: only meaningful
+	// when there is more than one CPU to fan the workers across.
+	if runtime.NumCPU() > 1 {
+		seq := res.Engines[len(res.Engines)-2]
+		par := res.Engines[len(res.Engines)-1]
+		if seq.RoundsPerSec > 0 {
+			res.ParallelSpeedup = par.RoundsPerSec / seq.RoundsPerSec
+			res.SpeedupWorkers = workers
+		}
+	}
 	// Composing the two batching dimensions: each scenario's recorded round
 	// programs replayed over the extra initial vectors (matrix engine).
 	// Throughput counts primary plus replayed vector-rounds.
 	start = time.Now()
-	comboRes, err := sim.Sweep(engCfg, scens, sim.SweepOptions{
+	comboRes, err := sim.Sweep(context.Background(), engCfg, scens, sim.SweepOptions{
 		Engine: sim.Matrix{}, Workers: workers, Extras: extras,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"iabc/internal/adversary"
@@ -76,7 +77,7 @@ func E12Density() (*E12Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		chk, err := condition.CheckParallel(g, f, 0)
+		chk, err := condition.CheckParallel(context.Background(), g, f, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -136,7 +137,7 @@ func E8Async() (*E8Result, error) {
 		for i := 0; i < c.f; i++ {
 			faulty.Add(c.n - 1 - i)
 		}
-		tr, err := async.Run(async.Config{
+		tr, err := async.Run(context.Background(), async.Config{
 			G: g, F: c.f, Faulty: faulty,
 			Initial: ramp(c.n), Rule: core.TrimmedMean{},
 			Adversary: c.strat, Delays: c.mkDel(),
@@ -157,7 +158,7 @@ func E8Async() (*E8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	stall, err := async.Run(async.Config{
+	stall, err := async.Run(context.Background(), async.Config{
 		G: g7, F: 1, Faulty: nodeset.FromMembers(7, 5, 6),
 		Initial: ramp(7), Rule: core.TrimmedMean{},
 		Adversary: adversary.Silent{}, Delays: async.Fixed{D: 1},

@@ -8,6 +8,7 @@ package sim
 // keeps the four implementations honest as each gets optimized separately.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -235,7 +236,7 @@ func TestCrossEngineConformance(t *testing.T) {
 					sweepEngines = append(sweepEngines, Matrix{})
 				}
 				for _, eng := range sweepEngines {
-					res, err := Sweep(sc.buildConfig(t, false),
+					res, err := Sweep(context.Background(), sc.buildConfig(t, false),
 						[]Scenario{{Name: "a"}, {Name: "b"}},
 						SweepOptions{Engine: eng, Workers: 1})
 					if err != nil {
@@ -316,7 +317,7 @@ func TestAsyncSynchronousDeliveryConformance(t *testing.T) {
 				if err != nil {
 					t.Fatalf("sequential: %v", err)
 				}
-				atr, err := async.Run(async.Config{
+				atr, err := async.Run(context.Background(), async.Config{
 					G: g, F: 0, Faulty: faulty, Initial: initial,
 					Rule: core.TrimmedMean{}, Adversary: wrap(st.mk()),
 					Delays: async.Fixed{D: 1}, FaultyTick: 1,

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +32,11 @@ type Scenario struct {
 	// set, so a scenario can reset the base to fault-free without having to
 	// construct a sized empty set.
 	HasFaulty bool
+	// MaxRounds overrides base.MaxRounds when > 0, letting one sweep mix
+	// short and long scenarios. Sweep schedules the costliest scenarios
+	// first (see scheduleOrder), so uneven round budgets do not leave one
+	// long scenario bounding the tail.
+	MaxRounds int
 }
 
 // apply merges the scenario's overrides into a copy of base.
@@ -43,6 +50,9 @@ func (s *Scenario) apply(base Config) Config {
 	}
 	if s.HasFaulty || s.Faulty.Cap() != 0 {
 		cfg.Faulty = s.Faulty
+	}
+	if s.MaxRounds > 0 {
+		cfg.MaxRounds = s.MaxRounds
 	}
 	return cfg
 }
@@ -113,6 +123,15 @@ type SweepOptions struct {
 	// SweepResult.Finals. Requires the Matrix engine. Every vector must
 	// have length n.
 	Extras [][]float64
+	// OnScenario, when non-nil, is invoked once per completed scenario with
+	// its index, resolved name, and trace — streaming per-scenario progress
+	// before the sweep returns. A single-worker sweep delivers in index
+	// order; with more than one effective worker it is called concurrently
+	// from worker goroutines (scenarios complete out of order, and the
+	// cost-first schedule reorders dispatch), so the callback must be safe
+	// for concurrent use. It is not called for scenarios that fail or are
+	// skipped after a failure or cancellation.
+	OnScenario func(index int, name string, tr *Trace)
 }
 
 // SweepResult is the output of Sweep, index-aligned with the scenarios.
@@ -135,19 +154,35 @@ type SweepResult struct {
 // and the whole program sequence is then SoA-replayed over the K extra
 // initial vectors at a few flops per edge per vector.
 //
+// Scheduling: with more than one effective worker, scenarios are
+// dispatched largest-estimated-cost-first (effective MaxRounds × edges ×
+// replay width, see scheduleOrder), so a parallel sweep with uneven round
+// budgets does not end with one long scenario running alone while the
+// other workers idle. A single-worker sweep runs in natural index order —
+// reordering buys nothing there, and OnScenario then fires in index
+// order. Results are index-aligned with scenarios and bit-identical
+// regardless of the execution order — scheduling changes only the tail
+// latency.
+//
+// Cancellation: ctx is checked between scenarios (never inside the
+// zero-allocation round loop), so cancellation returns within one
+// scenario's simulation time. On cancellation the result is nil and the
+// error wraps ctx.Err() together with how many scenarios had completed.
+//
 // Error contract: every derived config is validated up front (fail fast,
-// nothing simulated); any error — validation or mid-sweep — is wrapped with
-// the scenario's index and name, and the returned SweepResult is nil: Sweep
-// never hands back a partially filled sweep. With Workers > 1 and multiple
-// failing scenarios, the error reported is the failure with the lowest index
-// among those executed.
+// nothing simulated); any scenario error — validation or mid-sweep — is
+// wrapped with the scenario's index and name, and the returned SweepResult
+// is nil: Sweep never hands back a partially filled sweep. With multiple
+// failing scenarios, the error reported is the failure with the lowest
+// index among those executed; a scenario failure takes precedence over a
+// concurrent cancellation.
 //
 // Concurrency contract: with Workers > 1 different scenarios run on
 // different goroutines, so scenarios must not share mutable adversary state
 // (a *RandomNoise rng, an *Insider scratch) — give each scenario its own
 // strategy instance. Stateless built-ins (Hug, Extremes, Fixed, Silent,
 // Conforming, PartitionAttack) are safe to share.
-func Sweep(base Config, scenarios []Scenario, opts SweepOptions) (*SweepResult, error) {
+func Sweep(ctx context.Context, base Config, scenarios []Scenario, opts SweepOptions) (*SweepResult, error) {
 	if len(scenarios) == 0 {
 		return &SweepResult{}, nil
 	}
@@ -175,11 +210,59 @@ func Sweep(base Config, scenarios []Scenario, opts SweepOptions) (*SweepResult, 
 			}
 		}
 	}
+	order := make([]int, len(cfgs))
+	for i := range order {
+		order[i] = i
+	}
+	if resolveWorkers(opts.Workers, len(scenarios)) > 1 {
+		order = scheduleOrder(cfgs, len(opts.Extras))
+	}
+	return sweepOrdered(ctx, engine, scenarios, cfgs, opts, order)
+}
 
+// resolveWorkers maps the Workers option to the goroutine count actually
+// used: ≤ 0 selects GOMAXPROCS, and a sweep never runs more workers than
+// it has scenarios.
+func resolveWorkers(workers, scenarios int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > scenarios {
+		workers = scenarios
+	}
+	return workers
+}
+
+// scheduleOrder returns the execution order for a sweep: scenario indexes
+// sorted by descending estimated cost — effective MaxRounds × edges ×
+// (1 + replay width) — with the stable original order breaking ties. Edges
+// and replay width are shared by every scenario of a sweep today, so the
+// ranking is driven by per-scenario MaxRounds overrides; the full product is
+// kept so the estimate stays honest if the other factors ever vary.
+func scheduleOrder(cfgs []Config, extras int) []int {
+	order := make([]int, len(cfgs))
+	cost := make([]int64, len(cfgs))
+	for i := range cfgs {
+		order[i] = i
+		cost[i] = int64(cfgs[i].MaxRounds) * int64(cfgs[i].G.NumEdges()) * int64(1+extras)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
+	return order
+}
+
+// sweepOrdered runs the validated configs in the given execution order.
+// Result slots are keyed by the original scenario index, so any order
+// yields the same SweepResult — the regression test pins this by replaying
+// a sweep in natural order.
+func sweepOrdered(ctx context.Context, engine Engine, scenarios []Scenario, cfgs []Config, opts SweepOptions, order []int) (*SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &SweepResult{Traces: make([]*Trace, len(scenarios))}
 	if len(opts.Extras) > 0 {
 		res.Finals = make([][][]float64, len(scenarios))
 	}
+	var completed atomic.Int64
 	// runOne executes scenario i on runner r; each index is written by
 	// exactly one worker, so result slots need no locking.
 	runOne := func(r ScenarioRunner, i int) error {
@@ -200,20 +283,25 @@ func Sweep(base Config, scenarios []Scenario, opts SweepOptions) (*SweepResult, 
 		if res.Finals != nil {
 			res.Finals[i] = finals
 		}
+		completed.Add(1)
+		if opts.OnScenario != nil {
+			opts.OnScenario(i, scenarioName(&scenarios[i]), tr)
+		}
 		return nil
 	}
+	cancelErr := func() error {
+		return fmt.Errorf("sim: sweep canceled after %d/%d scenarios: %w",
+			completed.Load(), len(cfgs), context.Cause(ctx))
+	}
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
-	}
+	workers := resolveWorkers(opts.Workers, len(scenarios))
 	if workers == 1 {
-		r := NewScenarioRunner(engine, base.G)
+		r := NewScenarioRunner(engine, cfgs[0].G)
 		defer r.Close()
-		for i := range cfgs {
+		for _, i := range order {
+			if ctx.Err() != nil {
+				return nil, cancelErr()
+			}
 			if err := runOne(r, i); err != nil {
 				return nil, err
 			}
@@ -224,6 +312,7 @@ func Sweep(base Config, scenarios []Scenario, opts SweepOptions) (*SweepResult, 
 	var (
 		next     atomic.Int64
 		failed   atomic.Bool
+		canceled atomic.Bool
 		mu       sync.Mutex
 		firstErr error
 		firstIdx = len(scenarios)
@@ -233,13 +322,18 @@ func Sweep(base Config, scenarios []Scenario, opts SweepOptions) (*SweepResult, 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			r := NewScenarioRunner(engine, base.G)
+			r := NewScenarioRunner(engine, cfgs[0].G)
 			defer r.Close()
-			for !failed.Load() {
-				i := int(next.Add(1) - 1)
-				if i >= len(cfgs) {
+			for !failed.Load() && !canceled.Load() {
+				k := int(next.Add(1) - 1)
+				if k >= len(order) {
 					return
 				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
+				i := order[k]
 				if err := runOne(r, i); err != nil {
 					mu.Lock()
 					if firstErr == nil || i < firstIdx {
@@ -256,6 +350,9 @@ func Sweep(base Config, scenarios []Scenario, opts SweepOptions) (*SweepResult, 
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if canceled.Load() {
+		return nil, cancelErr()
+	}
 	return res, nil
 }
 
@@ -270,7 +367,7 @@ func Sweep(base Config, scenarios []Scenario, opts SweepOptions) (*SweepResult, 
 // returned trace slice is nil (never a partial prefix) and the error names
 // the failing scenario's index and name.
 func RunScenarios(base Config, scenarios []Scenario) ([]*Trace, error) {
-	res, err := Sweep(base, scenarios, SweepOptions{Workers: 1})
+	res, err := Sweep(context.Background(), base, scenarios, SweepOptions{Workers: 1})
 	if err != nil {
 		return nil, err
 	}

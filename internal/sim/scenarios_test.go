@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"iabc/internal/adversary"
@@ -163,7 +166,7 @@ func TestSweepErrorContract(t *testing.T) {
 			{Name: "cool2"},
 		}
 		for _, workers := range []int{1, 3} {
-			res, err := Sweep(cfg, scens, SweepOptions{Workers: workers})
+			res, err := Sweep(context.Background(), cfg, scens, SweepOptions{Workers: workers})
 			if err == nil {
 				t.Fatalf("workers=%d: expected runtime error", workers)
 			}
@@ -175,6 +178,160 @@ func TestSweepErrorContract(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestSweepSizeAwareScheduling pins the scheduling satellite: with more
+// than one effective worker, Sweep dispatches scenarios
+// largest-estimated-cost-first (effective MaxRounds × edges × replay
+// width), and the SweepResult is bit-identical to an unsorted
+// (natural-order) execution — scheduling may only move work in time, never
+// change results. A single-worker sweep keeps natural order, so its
+// OnScenario stream arrives index-ordered.
+func TestSweepSizeAwareScheduling(t *testing.T) {
+	base := scenarioBase(t)
+	base.Epsilon = 0 // run every scenario to its full (overridden) budget
+	scens := []Scenario{
+		{Name: "short", Adversary: adversary.Hug{}, MaxRounds: 10},
+		{Name: "long", Adversary: adversary.Extremes{Amplitude: 20}, MaxRounds: 120},
+		{Name: "base-budget", Adversary: adversary.Fixed{Value: 1e5}},
+		{Name: "mid", Adversary: adversary.Hug{High: true}, MaxRounds: 40},
+		{Name: "long-too", Adversary: adversary.Conforming{}, MaxRounds: 120},
+	}
+	cfgs := make([]Config, len(scens))
+	for i := range scens {
+		cfgs[i] = scens[i].apply(base)
+		if err := cfgs[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	order := scheduleOrder(cfgs, 0)
+	// Costs: 10, 120, 80 (base), 40, 120 → descending with stable ties:
+	// 1, 4, 2, 3, 0.
+	want := []int{1, 4, 2, 3, 0}
+	for k := range want {
+		if order[k] != want[k] {
+			t.Fatalf("scheduleOrder = %v, want %v", order, want)
+		}
+	}
+
+	for _, workers := range []int{1, 3} {
+		opts := SweepOptions{Workers: workers}
+		scheduled, err := Sweep(context.Background(), base, scens, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		natural, err := sweepOrdered(context.Background(), Sequential{}, scens, cfgs, opts, []int{0, 1, 2, 3, 4})
+		if err != nil {
+			t.Fatalf("workers=%d natural: %v", workers, err)
+		}
+		for i := range scens {
+			if scheduled.Traces[i].Rounds != cfgs[i].MaxRounds {
+				t.Errorf("scenario %d ran %d rounds, want MaxRounds override %d",
+					i, scheduled.Traces[i].Rounds, cfgs[i].MaxRounds)
+			}
+			assertTracesEqual(t, scens[i].Name, natural.Traces[i], scheduled.Traces[i])
+		}
+	}
+
+	// A single-worker sweep keeps natural dispatch order: OnScenario
+	// arrives strictly index-ascending.
+	var seen []int
+	if _, err := Sweep(context.Background(), base, scens, SweepOptions{
+		Workers:    1,
+		OnScenario: func(i int, _ string, _ *Trace) { seen = append(seen, i) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k := range seen {
+		if seen[k] != k {
+			t.Fatalf("workers=1 delivery order = %v, want index order", seen)
+		}
+	}
+
+	// The MaxRounds override must match a direct run of the derived config.
+	direct, err := Sequential{}.Run(cfgs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sweep(context.Background(), base, scens[1:2], SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTracesEqual(t, "maxrounds override", direct, res.Traces[0])
+}
+
+// TestSweepCancellation pins the context contract: a canceled sweep returns
+// nil, wraps context.Canceled with the completed-scenario count, and stops
+// within one scenario at any worker count.
+func TestSweepCancellation(t *testing.T) {
+	base := scenarioBase(t)
+	base.Epsilon = 0
+	base.MaxRounds = 50
+	scens := parallelScenarios(base.G.N())
+
+	t.Run("pre-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		for _, workers := range []int{1, 4} {
+			res, err := Sweep(ctx, base, scens, SweepOptions{Workers: workers})
+			if res != nil || !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: res=%v err=%v, want nil + context.Canceled", workers, res, err)
+			}
+			if !strings.Contains(err.Error(), "canceled after") {
+				t.Errorf("workers=%d: error does not report progress: %v", workers, err)
+			}
+		}
+	})
+
+	t.Run("mid-sweep", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		var fired atomic.Int64
+		opts := SweepOptions{Workers: 2, OnScenario: func(int, string, *Trace) {
+			if fired.Add(1) == 2 {
+				cancel()
+			}
+		}}
+		res, err := Sweep(ctx, base, scens, opts)
+		if res != nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("res=%v err=%v, want nil + context.Canceled", res, err)
+		}
+		if n := fired.Load(); n >= int64(len(scens)) {
+			t.Errorf("sweep ran all %d scenarios despite cancellation", n)
+		}
+	})
+}
+
+// TestSweepOnScenario checks the per-scenario observer hook: one call per
+// completed scenario with the scenario's index, resolved name, and trace.
+func TestSweepOnScenario(t *testing.T) {
+	base := scenarioBase(t)
+	scens := []Scenario{
+		{Name: "first"},
+		{Adversary: adversary.Extremes{Amplitude: 5}}, // name defaults to the adversary
+	}
+	var mu sync.Mutex
+	got := map[int]string{}
+	res, err := Sweep(context.Background(), base, scens, SweepOptions{
+		Workers: 2,
+		OnScenario: func(i int, name string, tr *Trace) {
+			mu.Lock()
+			defer mu.Unlock()
+			if tr == nil || tr.Rounds == 0 {
+				t.Errorf("scenario %d: bad trace in observer", i)
+			}
+			got[i] = name
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(scens) || got[0] != "first" || got[1] != scens[1].Adversary.Name() {
+		t.Fatalf("observer calls = %v", got)
+	}
+	if len(res.Traces) != len(scens) {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
 }
 
 // parallelScenarios builds one scenario per built-in adversary, each with a
@@ -228,12 +385,12 @@ func TestSweepParallelBitIdentical(t *testing.T) {
 	n := base.G.N()
 	for _, eng := range []Engine{Sequential{}, Concurrent{}, Matrix{}} {
 		t.Run(eng.Name(), func(t *testing.T) {
-			seq, err := Sweep(base, parallelScenarios(n), SweepOptions{Engine: eng, Workers: 1})
+			seq, err := Sweep(context.Background(), base, parallelScenarios(n), SweepOptions{Engine: eng, Workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{2, 4, 0} { // 0 = GOMAXPROCS
-				par, err := Sweep(base, parallelScenarios(n), SweepOptions{Engine: eng, Workers: workers})
+				par, err := Sweep(context.Background(), base, parallelScenarios(n), SweepOptions{Engine: eng, Workers: workers})
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
@@ -272,7 +429,7 @@ func TestSweepMatrixBatchConformance(t *testing.T) {
 		{Name: "moved", Faulty: nodeset.FromMembers(n, 4, 8), Adversary: adversary.Fixed{Value: 1e4}},
 	}
 	for _, workers := range []int{1, 2} {
-		res, err := Sweep(base, scens, SweepOptions{Engine: Matrix{}, Workers: workers, Extras: extras})
+		res, err := Sweep(context.Background(), base, scens, SweepOptions{Engine: Matrix{}, Workers: workers, Extras: extras})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -297,11 +454,11 @@ func TestSweepMatrixBatchConformance(t *testing.T) {
 		}
 	}
 	// Extras with a non-matrix engine is a configuration error.
-	if _, err := Sweep(base, scens, SweepOptions{Engine: Sequential{}, Extras: extras}); err == nil {
+	if _, err := Sweep(context.Background(), base, scens, SweepOptions{Engine: Sequential{}, Extras: extras}); err == nil {
 		t.Fatal("Extras with the sequential engine should be rejected")
 	}
 	// Mis-sized extra vectors are rejected before any simulation.
-	if _, err := Sweep(base, scens, SweepOptions{Engine: Matrix{}, Extras: [][]float64{{1, 2}}}); err == nil {
+	if _, err := Sweep(context.Background(), base, scens, SweepOptions{Engine: Matrix{}, Extras: [][]float64{{1, 2}}}); err == nil {
 		t.Fatal("short extra vector should be rejected")
 	}
 }
@@ -400,7 +557,7 @@ func TestNewScenarioRunnerFallback(t *testing.T) {
 	assertTracesEqual(t, "nil engine default", want, got)
 
 	// Sweep through the fallback engine must also work.
-	res, err := Sweep(base, []Scenario{{Name: "a"}, {Name: "b"}}, SweepOptions{Engine: oddEngine{}, Workers: 2})
+	res, err := Sweep(context.Background(), base, []Scenario{{Name: "a"}, {Name: "b"}}, SweepOptions{Engine: oddEngine{}, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +569,7 @@ func TestNewScenarioRunnerFallback(t *testing.T) {
 // lists, and pooled runners rejecting foreign graphs.
 func TestSweepEmptyAndGraphChecks(t *testing.T) {
 	base := scenarioBase(t)
-	res, err := Sweep(base, nil, SweepOptions{})
+	res, err := Sweep(context.Background(), base, nil, SweepOptions{})
 	if err != nil || len(res.Traces) != 0 {
 		t.Fatalf("empty sweep: res=%v err=%v", res, err)
 	}

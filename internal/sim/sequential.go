@@ -134,6 +134,9 @@ func newTrace(cfg *Config, initial []float64, faultFree nodeset.Set) *tracer {
 	if t.epsilon > 0 && hi-lo <= t.epsilon {
 		t.Converged = true // already in agreement at round 0
 	}
+	if cfg.OnRound != nil {
+		cfg.OnRound(0, hi, lo)
+	}
 	return t
 }
 
@@ -145,6 +148,9 @@ func (t *tracer) record(cfg *Config, round int, states []float64, faultFree node
 	t.Rounds = round
 	if cfg.RecordStates {
 		t.States = append(t.States, snapshot(states))
+	}
+	if cfg.OnRound != nil {
+		cfg.OnRound(round, hi, lo)
 	}
 	if t.epsilon > 0 && hi-lo <= t.epsilon {
 		t.Converged = true

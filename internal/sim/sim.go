@@ -58,6 +58,14 @@ type Config struct {
 	// RecordStates retains the full per-round state matrix in the trace
 	// (memory: (MaxRounds+1) × n floats). U[t] and µ[t] are always recorded.
 	RecordStates bool
+	// OnRound, when non-nil, is invoked after every recorded round with the
+	// round number and the fault-free maximum U and minimum µ — round 0 is
+	// the initial condition. It streams progress without waiting for (or
+	// materializing) the trace; the engines call it synchronously from the
+	// round loop, so it must be fast and must not retain the arguments'
+	// backing state. It fires on primary runs only, not on matrix batch
+	// replays.
+	OnRound func(round int, u, mu float64)
 }
 
 // Validate checks the configuration and returns a descriptive error for the

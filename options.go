@@ -1,0 +1,322 @@
+package iabc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iabc/internal/core"
+	"iabc/internal/sim"
+)
+
+// Engine selects the execution engine behind Simulate and Sweep. The three
+// synchronous engines share one semantics and produce bit-identical traces;
+// Async is the Section 7 quorum-iteration model under message delays (see
+// the package documentation's engine guide).
+type Engine int
+
+const (
+	// Sequential is the default: the single-goroutine reference engine on a
+	// flat message plane, allocation-free in steady state.
+	Sequential Engine = iota
+	// ConcurrentPool runs one goroutine per node with per-edge channels; in
+	// sweeps the goroutine/channel machinery is pooled per worker and
+	// reset per scenario.
+	ConcurrentPool
+	// Matrix materializes each round as a row-stochastic transition and can
+	// replay recorded rounds over extra initial vectors (WithExtras /
+	// WithBatch). Affine rules only (TrimmedMean, Mean).
+	Matrix
+	// Async is the Section 7 asynchronous quorum iteration driven by a
+	// DelayPolicy (WithDelays). Simulate only — sweeps are synchronous.
+	Async
+)
+
+// String returns the engine's name as used in traces and CSV output.
+func (e Engine) String() string {
+	switch e {
+	case Sequential:
+		return "sequential"
+	case ConcurrentPool:
+		return "concurrent"
+	case Matrix:
+		return "matrix"
+	case Async:
+		return "async"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// simEngine maps the selector to the internal engine implementation.
+func (e Engine) simEngine() (sim.Engine, error) {
+	switch e {
+	case Sequential:
+		return sim.Sequential{}, nil
+	case ConcurrentPool:
+		return sim.Concurrent{}, nil
+	case Matrix:
+		return sim.Matrix{}, nil
+	case Async:
+		return nil, fmt.Errorf("iabc: the async engine runs through Simulate only")
+	}
+	return nil, fmt.Errorf("iabc: unknown engine %d", int(e))
+}
+
+// DefaultMaxRounds is the iteration cap applied when WithMaxRounds is not
+// given.
+const DefaultMaxRounds = 10000
+
+// config collects the options; the zero value plus defaults (see
+// newConfig) is a valid fault-free configuration.
+type config struct {
+	f             int
+	faulty        Set
+	faultyRaw     []int
+	hasFaulty     bool
+	initial       []float64
+	rule          UpdateRule
+	adversary     Strategy
+	adversaryName string
+	hasAdvName    bool
+	seed          int64
+	maxRounds     int
+	hasMaxRounds  bool
+	epsilon       float64
+	recordStates  bool
+	engine        Engine
+	hasEngine     bool
+	workers       int
+	hasWorkers    bool
+	extras        [][]float64
+	batch         int
+	observer      Observer
+	delays        DelayPolicy
+	faultyTick    float64
+	historyEvery  int
+	async         bool
+	err           error // first option-level error, surfaced by the entry points
+}
+
+// Option configures one aspect of a Simulate, Sweep, Check, or MaxF call.
+// Options not consulted by an entry point are ignored (WithDelays by a
+// synchronous Simulate, WithEpsilon by Check, …), so one option list can
+// drive a whole pipeline.
+type Option func(*config)
+
+// newConfig applies opts over the defaults: fault-free, TrimmedMean rule,
+// Sequential engine, DefaultMaxRounds iterations, seed 1, one worker.
+func newConfig(opts []Option) (*config, error) {
+	c := &config{rule: core.TrimmedMean{}, seed: 1, maxRounds: DefaultMaxRounds, workers: 1}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.hasAdvName {
+		strat, err := AdversaryByName(c.adversaryName, c.seed)
+		if err != nil {
+			return nil, err
+		}
+		c.adversary = strat
+	}
+	if c.batch > 0 && len(c.extras) > 0 {
+		return nil, fmt.Errorf("iabc: WithBatch and WithExtras configure the same replay dimension; use one")
+	}
+	return c, nil
+}
+
+// fail records the first option-level error.
+func (c *config) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// WithF sets the fault-tolerance parameter f (how many faults the update
+// rule trims against, and the bound on Check's fault sets). Default 0.
+func WithF(f int) Option { return func(c *config) { c.f = f } }
+
+// WithFaulty marks the listed node IDs as actually faulty. It replaces any
+// earlier WithFaulty/WithFaultySet; the ids are bounds-checked against the
+// graph when the entry point runs.
+func WithFaulty(ids ...int) Option {
+	return func(c *config) {
+		c.faulty = Set{}
+		c.hasFaulty = true
+		for _, id := range ids {
+			if id < 0 {
+				c.fail(fmt.Errorf("iabc: negative faulty node id %d", id))
+				return
+			}
+		}
+		c.faultyRaw = append([]int(nil), ids...)
+	}
+}
+
+// WithFaultySet marks the given set as the actual fault set; its capacity
+// must match the graph's node count.
+func WithFaultySet(s Set) Option {
+	return func(c *config) {
+		c.faulty = s
+		c.hasFaulty = true
+		c.faultyRaw = nil
+	}
+}
+
+// WithInitial sets the initial state vector v[0] (length must equal the
+// graph's node count). Required by Simulate and Sweep.
+func WithInitial(v []float64) Option { return func(c *config) { c.initial = v } }
+
+// WithRule sets the update rule Z_i shared by all nodes. Default
+// TrimmedMean.
+func WithRule(r UpdateRule) Option { return func(c *config) { c.rule = r } }
+
+// WithAdversary sets the Byzantine strategy driving faulty transmissions.
+func WithAdversary(s Strategy) Option {
+	return func(c *config) { c.adversary = s; c.hasAdvName = false }
+}
+
+// WithNamedAdversary selects a built-in strategy by its CLI name (see
+// AdversaryNames); randomized strategies are seeded from WithSeed. The name
+// is resolved when the entry point runs, so WithSeed may appear later in
+// the option list.
+func WithNamedAdversary(name string) Option {
+	return func(c *config) { c.adversaryName = name; c.hasAdvName = true; c.adversary = nil }
+}
+
+// WithSeed seeds the randomized pieces: named randomized adversaries and
+// the WithBatch perturbations. Default 1.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithMaxRounds caps the number of iterations (per scenario in a sweep;
+// per node in the async model). Default DefaultMaxRounds. The value is
+// passed through to the engine's validation, so a non-positive cap fails
+// there with the engine's own error.
+func WithMaxRounds(rounds int) Option {
+	return func(c *config) { c.maxRounds = rounds; c.hasMaxRounds = true }
+}
+
+// WithEpsilon stops a run once the fault-free range U−µ is ≤ eps. Default
+// 0: run all rounds.
+func WithEpsilon(eps float64) Option { return func(c *config) { c.epsilon = eps } }
+
+// WithRecordStates retains the full per-round state matrix in the trace
+// (synchronous engines only; memory (MaxRounds+1) × n floats).
+func WithRecordStates() Option { return func(c *config) { c.recordStates = true } }
+
+// WithEngine selects the execution engine. Default Sequential; WithExtras
+// or WithBatch auto-select Matrix when no engine is given.
+func WithEngine(e Engine) Option {
+	return func(c *config) { c.engine = e; c.hasEngine = true }
+}
+
+// WithWorkers fans independent units of work — sweep scenarios, checker
+// fault sets — across n goroutines. 0 selects GOMAXPROCS; the default is 1
+// (fully sequential and safe for scenarios sharing mutable adversary
+// state). Results are bit-identical at any worker count.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			n = -1 // internal convention: ≤ 0 selects GOMAXPROCS
+		}
+		c.workers = n
+		c.hasWorkers = true
+	}
+}
+
+// WithExtras replays each sweep scenario's recorded round programs over
+// these extra initial vectors (Matrix engine; every vector must have
+// length n). SweepResult.Finals holds the per-vector final states.
+func WithExtras(extras [][]float64) Option {
+	return func(c *config) { c.extras = extras }
+}
+
+// WithBatch is WithExtras with k synthesized vectors: the base initial
+// vector plus i.i.d. uniform noise in [-0.5, 0.5), deterministically seeded
+// from WithSeed — the one-line form of a what-if sensitivity grid.
+func WithBatch(k int) Option {
+	return func(c *config) {
+		if k < 0 {
+			c.fail(fmt.Errorf("iabc: negative batch size %d", k))
+			return
+		}
+		c.batch = k
+	}
+}
+
+// WithObserver streams progress events to fn while a call runs: per-round
+// ranges from Simulate, per-scenario completions from Sweep, and checker
+// progress from Check and MaxF. Events may originate from worker
+// goroutines, but fn is never invoked concurrently — the facade serializes
+// delivery. See Event for the payloads.
+func WithObserver(fn Observer) Option { return func(c *config) { c.observer = fn } }
+
+// WithDelays sets the async engine's per-message delay policy. Required by
+// Simulate with WithEngine(Async).
+func WithDelays(p DelayPolicy) Option { return func(c *config) { c.delays = p } }
+
+// WithFaultyTick sets the interval at which async faulty nodes emit their
+// round batches (0 defaults to 1.0).
+func WithFaultyTick(t float64) Option { return func(c *config) { c.faultyTick = t } }
+
+// WithHistoryEvery decimates the async trace history to every k-th state
+// change (see the async engine's Config.HistoryEvery).
+func WithHistoryEvery(k int) Option { return func(c *config) { c.historyEvery = k } }
+
+// WithAsyncCondition makes Check decide the Section 7 asynchronous
+// condition (in-link threshold 2f+1) instead of the synchronous f+1.
+func WithAsyncCondition() Option { return func(c *config) { c.async = true } }
+
+// faultySet materializes the configured fault set for an n-node graph.
+func (c *config) faultySet(n int) (Set, error) {
+	if !c.hasFaulty {
+		return Set{}, nil
+	}
+	if c.faultyRaw != nil {
+		s := NewSet(n)
+		for _, id := range c.faultyRaw {
+			if id >= n {
+				return Set{}, fmt.Errorf("iabc: faulty node %d out of range [0,%d)", id, n)
+			}
+			s.Add(id)
+		}
+		return s, nil
+	}
+	return c.faulty, nil
+}
+
+// batchExtras synthesizes the WithBatch replay vectors around initial.
+func (c *config) batchExtras(initial []float64) [][]float64 {
+	if c.batch == 0 {
+		return c.extras
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	extras := make([][]float64, c.batch)
+	for x := range extras {
+		v := make([]float64, len(initial))
+		for i := range v {
+			v[i] = initial[i] + rng.Float64() - 0.5
+		}
+		extras[x] = v
+	}
+	return extras
+}
+
+// simConfig assembles the synchronous engine configuration.
+func (c *config) simConfig(g *Graph) (sim.Config, error) {
+	faulty, err := c.faultySet(g.N())
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		G:            g,
+		F:            c.f,
+		Faulty:       faulty,
+		Initial:      c.initial,
+		Rule:         c.rule,
+		Adversary:    c.adversary,
+		MaxRounds:    c.maxRounds,
+		Epsilon:      c.epsilon,
+		RecordStates: c.recordStates,
+	}, nil
+}
