@@ -3,7 +3,9 @@ package iabc_test
 // Cancellation contract of the public facade: a mid-scan context.Canceled
 // from Check, MaxF, or Sweep returns promptly (bounded by one scenario or
 // fault set), reports partial progress in the wrapped error, and leaks no
-// worker goroutines. These tests run under -race in CI.
+// worker goroutines; a canceled Cluster additionally tears down every
+// actor, send pump, and chaos delay goroutine even while sends are stuck
+// in retry/backoff against a partition. These tests run under -race in CI.
 
 import (
 	"context"
@@ -116,6 +118,48 @@ func TestCheckCancellationFacade(t *testing.T) {
 		waitNoLeakedGoroutines(t, base)
 		cancel()
 	}
+}
+
+// TestClusterCancellationFacade cancels a cluster mid-chaos, during an
+// unhealed partition that has every cross-cut send in retry/backoff, and
+// requires a prompt context.Canceled return with zero leaked goroutines —
+// actors, per-edge send pumps, the crash supervisor, and the chaos layer's
+// delayed-delivery goroutines must all unwind.
+func TestClusterCancellationFacade(t *testing.T) {
+	g, err := iabc.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	initial := make([]float64, n)
+	for i := range initial {
+		initial[i] = float64(i)
+	}
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res, err := iabc.Cluster(ctx, g,
+		iabc.WithInitial(initial),
+		iabc.WithMaxRounds(1_000_000), // unreachable: the partition stalls progress
+		iabc.WithResendEvery(time.Millisecond),
+		iabc.WithSendTimeout(10*time.Second), // keep sends parked in retry at cancel time
+		iabc.WithChaos(iabc.ChaosConfig{
+			Seed: 5, Drop: 0.1, MaxDelay: 2 * time.Millisecond,
+			Partitions: []iabc.LinkPartition{{
+				A: iabc.SetOf(n, 0), B: iabc.SetOf(n, 0).Complement(), From: 0, // never heals
+			}},
+		}))
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("res=%v err=%v, want nil + context.Canceled", res, err)
+	}
+	if !strings.Contains(err.Error(), "canceled after") {
+		t.Errorf("error does not report partial progress: %v", err)
+	}
+	waitNoLeakedGoroutines(t, base)
+	cancel()
 }
 
 func TestMaxFCancellationFacade(t *testing.T) {

@@ -1,0 +1,179 @@
+package iabc_test
+
+// Facade contract of Cluster: conformance to the deterministic Async engine
+// in the loss-free f = 0 regime, chaos convergence with serialized observer
+// streaming, caller-owned transport semantics, and option-level errors.
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iabc"
+)
+
+func clusterInitial(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64((i*7)%n) + 0.25
+	}
+	return v
+}
+
+// TestClusterMatchesSimulateAsync pins the live cluster against the
+// deterministic conformance oracle: with f = 0 and loss-free delivery the
+// quorum is the full in-neighborhood, the result is arrival-order
+// independent, and the fault-free finals must be bit-identical to the Async
+// engine's under any fixed delay.
+func TestClusterMatchesSimulateAsync(t *testing.T) {
+	g, err := iabc.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := clusterInitial(g.N())
+	const maxRounds = 15
+	opts := []iabc.Option{iabc.WithInitial(initial), iabc.WithMaxRounds(maxRounds)}
+
+	want, err := iabc.Simulate(context.Background(), g, append(opts,
+		iabc.WithEngine(iabc.Async), iabc.WithDelays(iabc.FixedDelay{D: 1}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := iabc.Cluster(context.Background(), g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Final {
+		if math.Float64bits(want.Final[i]) != math.Float64bits(got.Final[i]) {
+			t.Errorf("final[%d]: cluster %v vs async engine %v", i, got.Final[i], want.Final[i])
+		}
+	}
+	if got.Updates != int64(g.N()*maxRounds) {
+		t.Errorf("updates = %d, want %d", got.Updates, g.N()*maxRounds)
+	}
+}
+
+// TestClusterChaosFacade runs a faulty cluster under WithChaos and asserts
+// ε-convergence, the validity (hull) invariant on every streamed update,
+// and that observer delivery is serialized.
+func TestClusterChaosFacade(t *testing.T) {
+	g, err := iabc.Complete(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	initial := clusterInitial(n)
+	lo0, hi0 := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n-1; i++ { // node n-1 is faulty
+		lo0, hi0 = math.Min(lo0, initial[i]), math.Max(hi0, initial[i])
+	}
+
+	var inObserver atomic.Int32
+	var updates int64
+	res, err := iabc.Cluster(context.Background(), g,
+		iabc.WithInitial(initial),
+		iabc.WithF(1), iabc.WithFaulty(n-1),
+		iabc.WithAdversary(iabc.Extremes{Amplitude: 3}),
+		iabc.WithEpsilon(1e-6), iabc.WithMaxRounds(80),
+		iabc.WithResendEvery(2*time.Millisecond),
+		iabc.WithStallAfter(3*time.Second),
+		iabc.WithChaos(iabc.ChaosConfig{
+			Seed: 11, Drop: 0.2, Dup: 0.1, MaxDelay: 2 * time.Millisecond,
+		}),
+		iabc.WithObserver(func(e iabc.Event) {
+			if inObserver.Add(1) != 1 {
+				t.Error("observer invoked concurrently")
+			}
+			defer inObserver.Add(-1)
+			if e.Kind != iabc.EventNodeUpdate {
+				t.Errorf("unexpected event kind %d", e.Kind)
+				return
+			}
+			updates++
+			if e.Value < lo0-1e-9 || e.Value > hi0+1e-9 {
+				t.Errorf("node %d round %d: value %v outside initial hull [%v, %v]",
+					e.Node, e.Round, e.Value, lo0, hi0)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence: stalled=%v finalRange=%v", res.Stalled, res.FinalRange)
+	}
+	if res.FinalRange > 1e-6 {
+		t.Errorf("final range %v > epsilon", res.FinalRange)
+	}
+	if updates != res.Updates {
+		t.Errorf("observer saw %d updates, result reports %d", updates, res.Updates)
+	}
+}
+
+// TestClusterCallerOwnedTransport checks WithTransport semantics: the run
+// uses the caller's chaos wrapper and leaves it open, so its fault counters
+// can be inspected after the run.
+func TestClusterCallerOwnedTransport(t *testing.T) {
+	g, err := iabc.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := iabc.NewChaosTransport(iabc.NewInprocTransport(g.N(), 0), iabc.ChaosConfig{
+		Seed: 3, Drop: 0.1, MaxDelay: time.Millisecond,
+	})
+	defer ch.Close()
+	res, err := iabc.Cluster(context.Background(), g,
+		iabc.WithInitial(clusterInitial(g.N())),
+		iabc.WithTransport(ch),
+		iabc.WithEpsilon(1e-9), iabc.WithMaxRounds(60),
+		iabc.WithResendEvery(2*time.Millisecond),
+		iabc.WithStallAfter(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence: stalled=%v finalRange=%v", res.Stalled, res.FinalRange)
+	}
+	stats := ch.Stats()
+	if stats.Sent == 0 {
+		t.Error("caller-owned transport saw no traffic")
+	}
+	// Still open after the run: a send must not fail with ErrTransportClosed.
+	if err := ch.Send(context.Background(), 0, 1, iabc.Msg{}); err != nil {
+		t.Errorf("caller-owned transport closed by the run: %v", err)
+	}
+}
+
+// TestClusterOptionErrors covers Cluster's option-level failure modes.
+func TestClusterOptionErrors(t *testing.T) {
+	g, err := iabc.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := clusterInitial(g.N())
+
+	_, err = iabc.Cluster(context.Background(), g,
+		iabc.WithInitial(initial),
+		iabc.WithTransport(iabc.NewInprocTransport(g.N(), 0)),
+		iabc.WithChaos(iabc.ChaosConfig{Drop: 0.5}))
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("WithTransport+WithChaos: err = %v, want mutual-exclusion error", err)
+	}
+
+	_, err = iabc.Cluster(context.Background(), g, iabc.WithInitial(initial), iabc.WithTransport(nil))
+	if err == nil || !strings.Contains(err.Error(), "WithTransport(nil)") {
+		t.Errorf("WithTransport(nil): err = %v", err)
+	}
+
+	if _, err = iabc.Cluster(context.Background(), g); err == nil {
+		t.Error("missing WithInitial: want validation error")
+	}
+
+	_, err = iabc.Cluster(context.Background(), g,
+		iabc.WithInitial(initial), iabc.WithFaulty(0))
+	if err == nil || !strings.Contains(err.Error(), "Adversary") {
+		t.Errorf("faulty without adversary: err = %v", err)
+	}
+}

@@ -18,7 +18,10 @@
 //   - Check(ctx, g, f, opts...) — the exact Theorem 1 decision with
 //     witnesses, parallel fault-set scanning, and the §7 threshold under
 //     WithAsyncCondition;
-//   - MaxF(ctx, g, opts...) / MaxFWithStats — the largest tolerable f.
+//   - MaxF(ctx, g, opts...) / MaxFWithStats — the largest tolerable f;
+//   - Cluster(ctx, g, opts...) — the §7 iteration as a live cluster of
+//     goroutine-per-node actors over a pluggable Transport, with seeded
+//     network chaos via WithChaos and per-update observer streaming.
 //
 // Every entry point honors its context — cancellation is checked at
 // scenario, fault-set, or event-batch granularity, never inside the
@@ -37,6 +40,8 @@
 //   - internal/condition — the tight necessary & sufficient condition of
 //     Theorem 1, propagation machinery, exact checker with witnesses;
 //   - internal/sim, internal/async — synchronous and asynchronous engines;
+//   - internal/node, internal/transport — the live actor runtime behind
+//     Cluster and its message transports, chaos injection included;
 //   - internal/adversary — Byzantine strategies;
 //   - internal/graph, internal/topology, internal/nodeset — substrates;
 //   - internal/analysis — α, Lemma 5 contraction bounds, rate measurement;

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"iabc/internal/hashrand"
 	"iabc/internal/nodeset"
 )
 
@@ -51,6 +52,14 @@ func (f Fixed) Name() string { return fmt.Sprintf("fixed(%g)", f.D) }
 func (f Fixed) Delay(int, int, int) float64 { return f.D }
 
 // Uniform draws each delay independently and uniformly from (0, B].
+//
+// Uniform is NOT safe for concurrent callers: successive Delay calls
+// advance the shared *rand.Rand stream, which is stateful and unlocked.
+// That is fine inside the discrete-event engine — Delay is only ever
+// invoked from the single event-loop goroutine — but it must not be handed
+// to code that evaluates delays from multiple goroutines (the node-actor
+// cluster, a parallel sweep's per-worker chaos). For those, use Jitter:
+// the same marginal distribution, computed statelessly per message.
 type Uniform struct {
 	B   float64
 	Rng *rand.Rand
@@ -64,6 +73,29 @@ func (u *Uniform) Name() string { return fmt.Sprintf("uniform(0,%g]", u.B) }
 // Delay implements DelayPolicy.
 func (u *Uniform) Delay(int, int, int) float64 {
 	return u.B * (1 - u.Rng.Float64()) // in (0, B]
+}
+
+// Jitter draws each delay from (0, B] like Uniform, but statelessly: the
+// delay of a message is a pure function of (Seed, from, to, round) through
+// the hashrand keyed generator, so there is no rng stream to advance and no
+// lock to take. Any number of goroutines may call Delay concurrently, and a
+// run is reproducible from Seed alone regardless of evaluation order — the
+// delay policy to use wherever concurrency makes Uniform's shared stream
+// unsound.
+type Jitter struct {
+	B    float64
+	Seed int64
+}
+
+var _ DelayPolicy = Jitter{}
+
+// Name implements DelayPolicy.
+func (j Jitter) Name() string { return fmt.Sprintf("jitter(0,%g;seed=%d)", j.B, j.Seed) }
+
+// Delay implements DelayPolicy: B·(1 − u) in (0, B] with u the keyed
+// uniform variate of (Seed, from, to, round).
+func (j Jitter) Delay(from, to, round int) float64 {
+	return j.B * (1 - hashrand.Unit(j.Seed, uint64(from), uint64(to), uint64(round)))
 }
 
 // Targeted is the adversarial scheduler: messages originating from nodes in

@@ -12,6 +12,7 @@ import (
 	"iabc/internal/core"
 	"iabc/internal/graph"
 	"iabc/internal/nodeset"
+	"iabc/internal/quorum"
 )
 
 // Config describes one asynchronous run.
@@ -216,10 +217,11 @@ func Run(ctx context.Context, cfg Config) (*Trace, error) {
 	rounds := make([]int, n)
 	// Flat ring-buffer inboxes (first arrival per (from, round) wins),
 	// allocated only for fault-free receivers — faulty receivers discard.
-	inbox := make([]*inboxRing, n)
+	// The ring lives in internal/quorum, shared with the real node actors.
+	inbox := make([]*quorum.Ring, n)
 	maxDeg := 0
 	faultFree.ForEach(func(i int) bool {
-		inbox[i] = newInboxRing(cfg.G.InDegree(i))
+		inbox[i] = quorum.NewRing(cfg.G.InDegree(i))
 		if d := cfg.G.InDegree(i); d > maxDeg {
 			maxDeg = d
 		}
@@ -275,10 +277,10 @@ func Run(ctx context.Context, cfg Config) (*Trace, error) {
 		return true
 	})
 
-	// quorum[i] = |N⁻_i| − F: how many round-t values node i waits for.
-	quorum := make([]int, n)
+	// quorumOf[i] = |N⁻_i| − F: how many round-t values node i waits for.
+	quorumOf := make([]int, n)
 	for i := 0; i < n; i++ {
-		quorum[i] = cfg.G.InDegree(i) - cfg.F
+		quorumOf[i] = quorum.Count(cfg.G.InDegree(i), cfg.F)
 	}
 
 	// History decimation: with HistoryEvery = k > 1, only every k-th state
@@ -344,7 +346,7 @@ func Run(ctx context.Context, cfg Config) (*Trace, error) {
 			}
 			ins := cfg.G.InView(i)
 			pos := sort.SearchInts(ins, e.from)
-			if !inbox[i].put(e.round, pos, e.value) {
+			if !inbox[i].Put(e.round, pos, e.value) {
 				continue // duplicates (equivocating re-sends) are dropped
 			}
 
@@ -353,13 +355,13 @@ func Run(ctx context.Context, cfg Config) (*Trace, error) {
 			// exactly quorum[i] values; buffered later rounds can hold more
 			// (the rule tolerates that).
 			for rounds[i] < cfg.MaxRounds {
-				if inbox[i].filled(rounds[i]) < quorum[i] {
+				if inbox[i].Filled(rounds[i]) < quorumOf[i] {
 					break
 				}
 				// Slot positions are aligned with the sorted in-neighbor
 				// list, so received comes out in ascending sender order —
 				// deterministic with no sort.
-				received := inbox[i].gather(rounds[i], ins, recvBuf[:0])
+				received := inbox[i].Gather(rounds[i], ins, recvBuf[:0])
 				var v float64
 				var err error
 				if buffered != nil {
@@ -371,7 +373,7 @@ func Run(ctx context.Context, cfg Config) (*Trace, error) {
 					runErr = fmt.Errorf("async: node %d round %d: %w", i, rounds[i], err)
 					break
 				}
-				inbox[i].pop()
+				inbox[i].Pop()
 				states[i] = v
 				rounds[i]++
 				for _, to := range cfg.G.OutView(i) {

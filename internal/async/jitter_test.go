@@ -1,0 +1,58 @@
+package async
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestJitterRangeAndDeterminism pins the Jitter contract: every delay is in
+// (0, B], the value depends only on (Seed, from, to, round), and distinct
+// seeds decorrelate the schedule.
+func TestJitterRangeAndDeterminism(t *testing.T) {
+	j := Jitter{B: 2.5, Seed: 42}
+	same := 0
+	for from := 0; from < 8; from++ {
+		for to := 0; to < 8; to++ {
+			for round := 0; round < 16; round++ {
+				d := j.Delay(from, to, round)
+				if d <= 0 || d > j.B {
+					t.Fatalf("Delay(%d,%d,%d) = %g outside (0,%g]", from, to, round, d, j.B)
+				}
+				if d != j.Delay(from, to, round) {
+					t.Fatalf("Delay(%d,%d,%d) not deterministic", from, to, round)
+				}
+				if d == (Jitter{B: 2.5, Seed: 43}).Delay(from, to, round) {
+					same++
+				}
+			}
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d delays identical across seeds 42 and 43", same)
+	}
+}
+
+// TestJitterConcurrentStateless drives one Jitter value from many goroutines
+// under -race: a shared-stream policy (like *Uniform) would race here; the
+// keyed policy must not, and every goroutine must read identical delays.
+func TestJitterConcurrentStateless(t *testing.T) {
+	j := Jitter{B: 1, Seed: 9}
+	want := make([]float64, 64)
+	for i := range want {
+		want[i] = j.Delay(i, i+1, i+2)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range want {
+				if got := j.Delay(i, i+1, i+2); got != want[i] {
+					t.Errorf("concurrent Delay(%d,...) = %g, want %g", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

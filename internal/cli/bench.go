@@ -315,6 +315,29 @@ func cmdBench(args []string, stdout io.Writer) error {
 		}
 	})
 
+	// Raw in-process transport throughput: one op is one message through the
+	// bounded per-node queue, streamed from a producer goroutine — the floor
+	// under every cluster message the actor runtime sends. The queue is
+	// deeper than the default so the row measures channel hand-off, not
+	// producer/consumer lockstep.
+	run("transport/inproc/stream", func(b *testing.B) {
+		b.ReportAllocs()
+		tr := iabc.NewInprocTransport(2, 1024)
+		defer tr.Close()
+		rc := tr.Recv(1)
+		go func() {
+			for i := 0; i < b.N; i++ {
+				if tr.Send(ctx, 0, 1, iabc.Msg{Round: i, Value: 1, Seq: uint64(i)}) != nil {
+					return
+				}
+			}
+		}()
+		for i := 0; i < b.N; i++ {
+			<-rc
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+	})
+
 	// Exact checker rows. Degree-bound pruning turned core_n13_f4 from the
 	// suite's slowest row (~10 ms/op unpruned) into a sub-millisecond one,
 	// so it and the maxf scan now run in -short CI smoke too and sit under

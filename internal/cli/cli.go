@@ -24,6 +24,7 @@ Commands:
   check        decide the Theorem 1 condition exactly (add -async for §7)
   maxf         largest f the topology tolerates
   run          simulate Algorithm 1 under a Byzantine adversary
+  cluster      run the live actor cluster, optionally under network chaos
   repair       add edges until the topology satisfies the condition
   sweep        family sweep (rounds-to-ε vs n) as CSV
   topo         emit the topology (edge list or DOT)
@@ -52,6 +53,8 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdMaxF(rest, stdin, stdout)
 	case "run":
 		err = cmdRun(rest, stdin, stdout)
+	case "cluster":
+		err = cmdCluster(rest, stdin, stdout)
 	case "repair":
 		err = cmdRepair(rest, stdin, stdout)
 	case "sweep":

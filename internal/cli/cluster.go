@@ -1,0 +1,94 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"iabc"
+)
+
+// cmdCluster runs the live actor cluster — goroutine-per-node Section 7
+// iteration over an in-process transport, optionally behind the seeded
+// chaos layer — and reports the stop verdict plus the robustness counters.
+func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	topoSpec := fs.String("topo", "", "topology spec (required)")
+	f := fs.Int("f", 1, "fault-tolerance parameter")
+	faultyList := fs.String("faulty", "", "comma-separated faulty node IDs")
+	advName := fs.String("adversary", "extremes", "byzantine strategy")
+	rounds := fs.Int("rounds", 1000, "maximum rounds per node")
+	eps := fs.Float64("eps", 1e-6, "convergence threshold on U−µ (0 = run all rounds)")
+	seed := fs.Int64("seed", 1, "seed for initial values, randomized adversaries, and chaos")
+	drop := fs.Float64("drop", 0, "chaos: per-message drop probability")
+	dup := fs.Float64("dup", 0, "chaos: per-message duplication probability")
+	delay := fs.Duration("delay", 0, "chaos: max per-message reordering delay")
+	resend := fs.Duration("resend", 0, "initial stall-triggered resend interval (0 = default)")
+	stall := fs.Duration("stall", 5*time.Second, "liveness cutoff: give up after this long without progress (0 = none)")
+	timeout := fs.Duration("timeout", 0, "cancel the whole run after this long (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := ParseTopo(*topoSpec, stdin)
+	if err != nil {
+		return err
+	}
+	n := g.N()
+	ids, err := parseNodeList(*faultyList)
+	if err != nil {
+		return err
+	}
+	strat, err := iabc.AdversaryByName(*advName, *seed)
+	if err != nil {
+		return err
+	}
+	initial := make([]float64, n)
+	rng := rand.New(rand.NewSource(*seed))
+	for i := range initial {
+		initial[i] = rng.Float64() * 100
+	}
+	opts := []iabc.Option{
+		iabc.WithF(*f),
+		iabc.WithFaulty(ids...),
+		iabc.WithInitial(initial),
+		iabc.WithAdversary(strat),
+		iabc.WithMaxRounds(*rounds),
+		iabc.WithEpsilon(*eps),
+		iabc.WithResendEvery(*resend),
+		iabc.WithStallAfter(*stall),
+	}
+	chaotic := *drop > 0 || *dup > 0 || *delay > 0
+	if chaotic {
+		opts = append(opts, iabc.WithChaos(iabc.ChaosConfig{
+			Seed: *seed, Drop: *drop, Dup: *dup, MaxDelay: *delay,
+		}))
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := iabc.Cluster(ctx, g, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "graph: %s  f=%d  faulty=%s  adversary=%s  chaos=%v\n",
+		g, *f, iabc.SetOf(n, ids...), strat.Name(), chaotic)
+	verdict := "max rounds"
+	switch {
+	case res.Converged:
+		verdict = "converged"
+	case res.Stalled:
+		verdict = "stalled"
+	}
+	faultFree := iabc.SetOf(n, ids...).Complement()
+	fmt.Fprintf(stdout, "verdict: %s  min round: %d  final range: %.3e  elapsed: %s\n",
+		verdict, res.MinRound(faultFree), res.FinalRange, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "traffic: %d deliveries, %d updates, %d resends, %d abandoned sends, %d queue drops, %d restarts\n",
+		res.Deliveries, res.Updates, res.Resends, res.Abandoned, res.OutDropped, res.Restarts)
+	return nil
+}

@@ -1,0 +1,46 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClusterConverges(t *testing.T) {
+	code, stdout, stderr := run(t, "", "cluster",
+		"-topo", "complete:6", "-f", "1", "-faulty", "5",
+		"-adversary", "extremes", "-rounds", "200", "-eps", "1e-6",
+		"-resend", "2ms", "-stall", "10s")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "verdict: converged") {
+		t.Errorf("output: %q", stdout)
+	}
+	if !strings.Contains(stdout, "chaos=false") {
+		t.Errorf("chaos flag line missing: %q", stdout)
+	}
+}
+
+func TestClusterChaos(t *testing.T) {
+	code, stdout, stderr := run(t, "", "cluster",
+		"-topo", "complete:6", "-f", "1", "-faulty", "5",
+		"-adversary", "hug-high", "-rounds", "200", "-eps", "1e-6",
+		"-drop", "0.2", "-dup", "0.1", "-delay", "2ms",
+		"-resend", "2ms", "-stall", "10s")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "verdict: converged") {
+		t.Errorf("output: %q", stdout)
+	}
+	if !strings.Contains(stdout, "chaos=true") || !strings.Contains(stdout, "resends") {
+		t.Errorf("chaos/traffic lines missing: %q", stdout)
+	}
+}
+
+func TestClusterBadAdversary(t *testing.T) {
+	code, _, stderr := run(t, "", "cluster", "-topo", "complete:4", "-adversary", "nope")
+	if code != 1 || !strings.Contains(stderr, "unknown adversary") {
+		t.Errorf("exit = %d, stderr = %q", code, stderr)
+	}
+}

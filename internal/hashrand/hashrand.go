@@ -1,0 +1,37 @@
+// Package hashrand provides lock-free deterministic pseudo-randomness
+// keyed by message coordinates. Where math/rand draws from a stateful
+// stream — inherently single-consumer unless locked — hashrand computes
+// each variate as a pure function of (seed, from, to, seq), so any number
+// of concurrent goroutines can evaluate it without synchronization and a
+// run is reproducible from the seed alone regardless of scheduling.
+//
+// The generator is splitmix64 (Steele, Lea, Flood 2014), the finalizer
+// used to seed xoshiro-family generators: a 64-bit mix with full avalanche,
+// far stronger than needed to decorrelate adjacent (from, to, seq) keys.
+package hashrand
+
+// Splitmix64 advances and finalizes one splitmix64 step for x.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Key mixes a seed and three message coordinates into one 64-bit key.
+// Each coordinate passes through its own splitmix64 round before combining,
+// so permuting (from, to, seq) or shifting the seed yields unrelated keys.
+func Key(seed int64, from, to, seq uint64) uint64 {
+	h := Splitmix64(uint64(seed))
+	h = Splitmix64(h ^ from)
+	h = Splitmix64(h ^ to)
+	h = Splitmix64(h ^ seq)
+	return h
+}
+
+// Unit maps the key (seed, from, to, seq) to a float64 in [0, 1),
+// uniformly over the 2⁵³ representable grid — the hash-keyed equivalent of
+// rand.Float64.
+func Unit(seed int64, from, to, seq uint64) float64 {
+	return float64(Key(seed, from, to, seq)>>11) / (1 << 53)
+}

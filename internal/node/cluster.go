@@ -1,0 +1,322 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iabc/internal/adversary"
+	"iabc/internal/nodeset"
+	"iabc/internal/transport"
+)
+
+// updateMsg reports one fault-free state change to the runner.
+type updateMsg struct {
+	node, round int
+	value       float64
+}
+
+// runner owns the cross-actor state of one cluster run: the authoritative
+// state vector (fed by actor updates, read by adversary snapshots), the
+// stop conditions, and the robustness counters.
+type runner struct {
+	cfg        Config
+	faulty     nodeset.Set
+	faultFree  nodeset.Set
+	edgeWriter adversary.EdgeWriter
+	start      time.Time
+
+	mu     sync.Mutex
+	states []float64
+	rounds []int
+
+	updates chan updateMsg
+	errc    chan error
+
+	deliveries, updatesN, resends, abandoned, outDropped, restarts atomic.Int64
+}
+
+// fail records the first actor error; later errors are dropped.
+func (r *runner) fail(err error) {
+	select {
+	case r.errc <- err:
+	default:
+	}
+}
+
+// apply commits one state change and returns the fault-free range after it.
+func (r *runner) apply(u updateMsg) float64 {
+	r.mu.Lock()
+	r.states[u.node] = u.value
+	r.rounds[u.node] = u.round
+	lo, hi := faultFreeRange(r.states, r.faultFree)
+	r.mu.Unlock()
+	r.updatesN.Add(1)
+	return hi - lo
+}
+
+// view builds the omniscient snapshot a faulty emission sees — the cluster
+// equivalent of the simulator's per-round RoundView, taken at emission time.
+func (r *runner) view(round int) adversary.RoundView {
+	r.mu.Lock()
+	states := make([]float64, len(r.states))
+	copy(states, r.states)
+	r.mu.Unlock()
+	lo, hi := faultFreeRange(states, r.faultFree)
+	return adversary.RoundView{
+		Round:  round,
+		G:      r.cfg.G,
+		F:      r.cfg.F,
+		Faulty: r.faulty,
+		States: states,
+		Lo:     lo,
+		Hi:     hi,
+	}
+}
+
+// supervise runs one fault-free actor through its crash schedule: run until
+// the next window opens, hold it down for the window, then restart it from
+// its durable state with a reset inbox. A window that never closes leaves
+// the node down for the rest of the run.
+func (r *runner) supervise(ctx context.Context, a *actor, crashes []transport.Crash) {
+	for _, cr := range crashes {
+		if until := r.start.Add(cr.From); time.Until(until) > 0 {
+			if !r.incarnation(ctx, a, until) {
+				return
+			}
+		}
+		if cr.Until <= 0 {
+			return // crashed for good
+		}
+		if !sleepUntil(ctx, r.start.Add(cr.Until)) {
+			return
+		}
+		// Restart: durable (round, value, history) survives; the volatile
+		// inbox is lost, so rebase an empty ring at the current round and
+		// rely on peer resends to re-fill it.
+		a.inbox.Reset(a.round)
+		a.progressed = false
+		r.restarts.Add(1)
+	}
+	r.incarnation(ctx, a, time.Time{})
+}
+
+// incarnation runs the actor loop plus its send pumps until the deadline
+// (zero = none) or ctx. It returns only after every pump exited — a crash
+// stops the node's outbound side too. The return value reports whether the
+// parent ctx is still live.
+func (r *runner) incarnation(ctx context.Context, a *actor, deadline time.Time) bool {
+	var ictx context.Context
+	var cancel context.CancelFunc
+	if deadline.IsZero() {
+		ictx, cancel = context.WithCancel(ctx)
+	} else {
+		ictx, cancel = context.WithDeadline(ctx, deadline)
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(a.qs))
+	a.sender.start(ictx, wg.Done)
+	a.run(ictx)
+	cancel()
+	wg.Wait()
+	return ctx.Err() == nil
+}
+
+// sleepUntil blocks until t or ctx, reporting whether ctx is still live.
+func sleepUntil(ctx context.Context, t time.Time) bool {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Run executes one cluster to completion: every fault-free node as a live
+// actor over cfg.Transport, every faulty node driven by cfg.Adversary. It
+// returns when the Epsilon stop fires, every fault-free node reaches
+// MaxRounds, the StallAfter liveness cutoff fires, an actor fails, or ctx
+// is canceled (wrapping context.Cause(ctx)). On return no goroutine started
+// by Run is still alive; the transport is left open for the caller.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.G.N()
+	faulty := cfg.faulty()
+	faultFree := faulty.Complement()
+
+	r := &runner{
+		cfg:       cfg,
+		faulty:    faulty,
+		faultFree: faultFree,
+		start:     time.Now(),
+		states:    make([]float64, n),
+		rounds:    make([]int, n),
+		updates:   make(chan updateMsg, 64*n),
+		errc:      make(chan error, 1),
+	}
+	copy(r.states, cfg.Initial)
+	r.edgeWriter, _ = cfg.Adversary.(adversary.EdgeWriter)
+	lo, hi := faultFreeRange(r.states, faultFree)
+
+	// Crash schedules per fault-free node, ordered by window start.
+	crashByNode := make(map[int][]transport.Crash)
+	for _, cr := range cfg.Crashes {
+		if faultFree.Contains(cr.Node) {
+			crashByNode[cr.Node] = append(crashByNode[cr.Node], cr)
+		}
+	}
+	for _, crs := range crashByNode {
+		sort.Slice(crs, func(i, j int) bool { return crs[i].From < crs[j].From })
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	faultFree.ForEach(func(i int) bool {
+		a := newActor(i, r)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.supervise(runCtx, a, crashByNode[i])
+		}()
+		return true
+	})
+	faulty.ForEach(func(s int) bool {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.runFaulty(runCtx, s)
+		}()
+		return true
+	})
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	res := &Result{InitialRange: hi - lo}
+	var stallC <-chan time.Time
+	var stallTimer *time.Timer
+	if cfg.StallAfter > 0 {
+		stallTimer = time.NewTimer(cfg.StallAfter)
+		defer stallTimer.Stop()
+		stallC = stallTimer.C
+	}
+
+	onUpdate := func(u updateMsg) float64 {
+		rng := r.apply(u)
+		if cfg.OnUpdate != nil {
+			cfg.OnUpdate(u.node, u.round, u.value, rng)
+		}
+		return rng
+	}
+
+	target := faultFree.Count()
+	atMax := 0
+	var runErr error
+loop:
+	for {
+		select {
+		case u := <-r.updates:
+			rng := onUpdate(u)
+			if u.round == cfg.MaxRounds {
+				atMax++
+			}
+			if cfg.Epsilon > 0 && rng <= cfg.Epsilon {
+				res.Converged = true
+				cancel()
+			} else if atMax == target {
+				cancel()
+			}
+			if stallTimer != nil {
+				if !stallTimer.Stop() {
+					select {
+					case <-stallTimer.C:
+					default:
+					}
+				}
+				stallTimer.Reset(cfg.StallAfter)
+			}
+		case err := <-r.errc:
+			runErr = err
+			cancel()
+		case <-stallC:
+			res.Stalled = true
+			cancel()
+		case <-done:
+			break loop
+		}
+	}
+	// All actors have exited; drain updates that raced the shutdown so the
+	// result reflects every state change that was committed.
+	for {
+		select {
+		case u := <-r.updates:
+			rng := onUpdate(u)
+			if !res.Converged && cfg.Epsilon > 0 && rng <= cfg.Epsilon {
+				res.Converged = true
+			}
+		default:
+			goto drained
+		}
+	}
+drained:
+	if runErr == nil {
+		select {
+		case runErr = <-r.errc:
+		default:
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := ctx.Err(); err != nil && !res.Converged {
+		return nil, fmt.Errorf("node: cluster canceled after %d updates: %w",
+			r.updatesN.Load(), context.Cause(ctx))
+	}
+
+	res.Rounds = r.rounds
+	res.Final = r.states
+	lo, hi = faultFreeRange(r.states, faultFree)
+	res.FinalRange = hi - lo
+	res.Elapsed = time.Since(r.start)
+	res.Deliveries = r.deliveries.Load()
+	res.Updates = r.updatesN.Load()
+	res.Resends = r.resends.Load()
+	res.Abandoned = r.abandoned.Load()
+	res.OutDropped = r.outDropped.Load()
+	res.Restarts = r.restarts.Load()
+	return res, nil
+}
+
+func faultFreeRange(states []float64, faultFree nodeset.Set) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	faultFree.ForEach(func(i int) bool {
+		if states[i] < lo {
+			lo = states[i]
+		}
+		if states[i] > hi {
+			hi = states[i]
+		}
+		return true
+	})
+	return lo, hi
+}

@@ -1,0 +1,250 @@
+// Package node promotes the Section 7 asynchronous iteration from a
+// discrete-event simulation into genuinely independent node actors: one
+// goroutine-per-node runtime in which every fault-free node owns its state,
+// round counter, and quorum inbox, and talks to its peers exclusively
+// through a transport.Transport. Faulty actors are driven by the existing
+// adversary.Strategy vocabulary.
+//
+// The protocol per actor is exactly the async engine's: broadcast the
+// round-0 state, wait until round-tagged values from |N⁻_i| − f distinct
+// in-neighbors have arrived (quorum.Count — up to f faulty in-neighbors may
+// stay silent forever), apply the update rule (core.TrimmedMean realizes
+// Algorithm 1's trimming), advance, broadcast the new round. The inbox is
+// the same quorum.Ring the simulator uses: first arrival per (sender,
+// round) wins, duplicates and equivocating re-sends are dropped.
+//
+// What the package adds over the simulator is robustness machinery for
+// real, faulty networks:
+//
+//   - Idempotent retransmission. A stalled actor (no round progress for
+//     ResendEvery) rebroadcasts its history. Because the message for round
+//     k is a pure function of the actor's round-k state, resends never
+//     change a receiver's trajectory — they only repair losses. This turns
+//     chaos-layer drops and healed partitions into mere delays, which is
+//     precisely the regime the Part II convergence theorem covers.
+//   - Send retry with capped backoff and a per-message timeout. A cut link
+//     (transport.ErrLinkDown) or a backpressured queue never deadlocks an
+//     actor: the send pump retries with exponential backoff until the
+//     per-message budget expires, then abandons — the resend pass recovers.
+//   - Crash/restart. A supervisor stops an actor for each configured crash
+//     window and restarts it from its durable (round, value, history)
+//     state with a reset inbox; on restart the actor rebroadcasts its
+//     current round and peer resends re-fill what the crash lost.
+//
+// The deterministic simulator remains the conformance oracle: under
+// loss-free delivery and f = 0 (where the quorum is the full
+// in-neighborhood and the result is arrival-order independent), a cluster
+// must finish bit-identical to async.Run — pinned by the package tests.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"iabc/internal/adversary"
+	"iabc/internal/core"
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+	"iabc/internal/quorum"
+	"iabc/internal/transport"
+)
+
+// Default timing knobs applied by Config.withDefaults.
+const (
+	// DefaultResendEvery is the stall-triggered retransmission interval.
+	DefaultResendEvery = 5 * time.Millisecond
+	// DefaultFaultyTick is the interval at which faulty actors emit their
+	// round batches.
+	DefaultFaultyTick = 2 * time.Millisecond
+	// DefaultSendTimeout is the per-message budget covering all retries.
+	DefaultSendTimeout = 100 * time.Millisecond
+	// DefaultRetryBackoff is the initial retry backoff; it doubles per
+	// attempt, capped at maxBackoffFactor times the initial value.
+	DefaultRetryBackoff = time.Millisecond
+)
+
+// maxBackoffFactor caps the exponential send backoff at this multiple of
+// the initial RetryBackoff.
+const maxBackoffFactor = 16
+
+// Config describes one cluster run.
+type Config struct {
+	// G is the communication graph.
+	G *graph.Graph
+	// F is the fault-tolerance parameter.
+	F int
+	// Faulty is the actual fault set (|Faulty| ≤ F for guarantees).
+	Faulty nodeset.Set
+	// Initial holds v_i[0], length G.N().
+	Initial []float64
+	// Rule is the update rule; core.TrimmedMean realizes the Section 7
+	// algorithm when fed the |N⁻_i|−F quorum vector.
+	Rule core.UpdateRule
+	// Adversary decides faulty transmissions. May be nil iff Faulty is
+	// empty. Strategies see runner-maintained omniscient snapshots, like
+	// the simulator's RoundView — an in-process cluster grants the
+	// adversary the full knowledge the failure model (Section 2.2) allows.
+	Adversary adversary.Strategy
+	// Transport carries every message. Required; the caller owns it (Run
+	// does not close it) so one chaos wrapper can be inspected after the
+	// run.
+	Transport transport.Transport
+	// MaxRounds caps every fault-free node's round counter.
+	MaxRounds int
+	// Epsilon, when > 0, ends the run once the fault-free range is ≤
+	// Epsilon.
+	Epsilon float64
+	// ResendEvery is the initial stall-triggered retransmission interval:
+	// an actor that made no round progress for this long rebroadcasts its
+	// history, then backs off exponentially (doubling per silent interval,
+	// capped at maxResendBackoffFactor times this value) until progress
+	// resumes (0 selects DefaultResendEvery).
+	ResendEvery time.Duration
+	// FaultyTick is the wall-clock interval between a faulty actor's round
+	// batches (0 selects DefaultFaultyTick).
+	FaultyTick time.Duration
+	// SendTimeout is the per-message send budget including all retries
+	// (0 selects DefaultSendTimeout). Expired sends are abandoned and
+	// repaired by a later resend pass.
+	SendTimeout time.Duration
+	// RetryBackoff is the initial retry backoff after a failed send,
+	// doubling per attempt up to maxBackoffFactor times this value
+	// (0 selects DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// StallAfter, when > 0, ends the run with Result.Stalled once no
+	// fault-free state change has been observed for this long — the
+	// liveness cutoff for runs under liveness-destroying partitions.
+	StallAfter time.Duration
+	// Crashes stops each listed node's actor for its window and restarts
+	// it from durable state afterwards (a window that never closes leaves
+	// the node down). Windows are measured from Run's start. Crashes of
+	// faulty nodes are ignored — the adversary is not supervised.
+	Crashes []transport.Crash
+	// QuorumOverride, when non-nil, replaces the |N⁻_i| − F quorum count
+	// for node i. Tests use it to force pathological quorums; leave nil.
+	QuorumOverride func(i int) int
+	// OnUpdate, when non-nil, observes every fault-free state change:
+	// node, its new round counter, its new value, and the fault-free range
+	// after the change. Calls are serialized on the runner goroutine.
+	OnUpdate func(node, round int, value, rng float64)
+}
+
+// withDefaults returns c with zero timing knobs replaced by the defaults.
+func (c Config) withDefaults() Config {
+	if c.ResendEvery <= 0 {
+		c.ResendEvery = DefaultResendEvery
+	}
+	if c.FaultyTick <= 0 {
+		c.FaultyTick = DefaultFaultyTick
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = DefaultSendTimeout
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.G == nil {
+		return errors.New("node: nil graph")
+	}
+	n := c.G.N()
+	if len(c.Initial) != n {
+		return fmt.Errorf("node: len(Initial) = %d, want n = %d", len(c.Initial), n)
+	}
+	if c.Rule == nil {
+		return errors.New("node: nil update rule")
+	}
+	if c.Transport == nil {
+		return errors.New("node: nil transport")
+	}
+	if c.MaxRounds < 1 {
+		return fmt.Errorf("node: MaxRounds must be ≥ 1, got %d", c.MaxRounds)
+	}
+	if c.F < 0 {
+		return fmt.Errorf("node: negative F %d", c.F)
+	}
+	if c.Faulty.Cap() != 0 && c.Faulty.Cap() != n {
+		return fmt.Errorf("node: Faulty set capacity %d does not match n = %d", c.Faulty.Cap(), n)
+	}
+	if !c.faulty().Empty() && c.Adversary == nil {
+		return errors.New("node: faulty nodes configured but Adversary is nil")
+	}
+	if c.faulty().Count() == n {
+		return errors.New("node: all nodes faulty")
+	}
+	for _, cr := range c.Crashes {
+		if cr.Node < 0 || cr.Node >= n {
+			return fmt.Errorf("node: crash of node %d outside [0,%d)", cr.Node, n)
+		}
+	}
+	var err error
+	c.faulty().Complement().ForEach(func(i int) bool {
+		q := quorum.Count(c.G.InDegree(i), c.F)
+		if e := c.Rule.Validate(q, c.F); e != nil {
+			err = fmt.Errorf("node: node %d (in-degree %d, quorum %d): %w", i, c.G.InDegree(i), q, e)
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+func (c *Config) faulty() nodeset.Set {
+	if c.Faulty.Cap() == 0 {
+		return nodeset.New(c.G.N())
+	}
+	return c.Faulty
+}
+
+// Result records one cluster run. Unlike the simulator's trace there is no
+// event history — per-update streaming goes through Config.OnUpdate — but
+// the robustness counters record what the run survived.
+type Result struct {
+	// Converged reports whether the Epsilon stop fired.
+	Converged bool
+	// Stalled reports whether the StallAfter liveness cutoff fired before
+	// convergence or MaxRounds.
+	Stalled bool
+	// Rounds[i] is node i's final round counter (0 for faulty nodes — the
+	// cluster does not model faulty internal state).
+	Rounds []int
+	// Final is the final state vector (faulty entries are their initial
+	// values).
+	Final []float64
+	// InitialRange and FinalRange are the fault-free ranges U−µ at start
+	// and end.
+	InitialRange, FinalRange float64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Deliveries counts messages received by fault-free actors, including
+	// duplicates and stale rounds.
+	Deliveries int64
+	// Updates counts fault-free state changes.
+	Updates int64
+	// Resends counts messages retransmitted by stall-triggered history
+	// rebroadcasts.
+	Resends int64
+	// Abandoned counts sends dropped after the retry budget expired.
+	Abandoned int64
+	// OutDropped counts messages dropped at full outbound pump queues.
+	OutDropped int64
+	// Restarts counts crash-supervisor actor restarts.
+	Restarts int64
+}
+
+// MinRound returns the smallest round counter among fault-free nodes.
+func (r *Result) MinRound(faultFree nodeset.Set) int {
+	min := int(^uint(0) >> 1)
+	faultFree.ForEach(func(i int) bool {
+		if r.Rounds[i] < min {
+			min = r.Rounds[i]
+		}
+		return true
+	})
+	return min
+}

@@ -1,8 +1,19 @@
-package async
+// Package quorum holds the round-quorum machinery the Section 7
+// asynchronous iteration is built on, shared by the discrete-event
+// simulator (internal/async) and the real node actors (internal/node):
+// the per-node inbox ring buffering round-tagged arrivals, and the
+// |N⁻_i| − f quorum count a node waits for before advancing a round.
+package quorum
 
 import "iabc/internal/core"
 
-// inboxRing buffers round-tagged arrivals for one node without per-delivery
+// Count returns |N⁻_i| − f: how many distinct round-t values a node with
+// the given in-degree waits for before it can apply the round-t update.
+// It cannot wait for more — up to f faulty in-neighbors may stay silent
+// forever (Section 7).
+func Count(inDegree, f int) int { return inDegree - f }
+
+// Ring buffers round-tagged arrivals for one node without per-delivery
 // map allocation. Conceptually it is inbox[round][sender] = value for rounds
 // in a sliding window [base, base+slots): each round owns a flat slot of
 // in-degree values aligned with the node's sorted in-neighbor list, plus
@@ -12,7 +23,10 @@ import "iabc/internal/core"
 // The window advances one round at a time as the node's round counter moves
 // and grows geometrically when a sender runs far ahead of the receiver, so
 // steady-state delivery touches no allocator at all.
-type inboxRing struct {
+//
+// A Ring is owned by exactly one consumer (the simulator's event loop, or
+// one node actor's goroutine); it is not safe for concurrent use.
+type Ring struct {
 	deg     int
 	base    int // round number stored at ring position start
 	start   int // ring position of round base
@@ -22,9 +36,10 @@ type inboxRing struct {
 	count   []int     // per slot
 }
 
-func newInboxRing(deg int) *inboxRing {
+// NewRing returns an empty ring for a node with the given in-degree.
+func NewRing(deg int) *Ring {
 	const initialSlots = 8
-	return &inboxRing{
+	return &Ring{
 		deg:     deg,
 		slots:   initialSlots,
 		vals:    make([]float64, initialSlots*deg),
@@ -33,13 +48,17 @@ func newInboxRing(deg int) *inboxRing {
 	}
 }
 
+// Base returns the lowest round the ring currently stores — the owner's
+// round counter, advanced by Pop.
+func (ib *Ring) Base() int { return ib.base }
+
 // slot maps a round number in [base, base+slots) to its ring position.
-func (ib *inboxRing) slot(round int) int {
+func (ib *Ring) slot(round int) int {
 	return (ib.start + (round - ib.base)) % ib.slots
 }
 
 // grow re-lays the ring out with at least need slots.
-func (ib *inboxRing) grow(need int) {
+func (ib *Ring) grow(need int) {
 	newSlots := ib.slots * 2
 	for newSlots < need {
 		newSlots *= 2
@@ -57,10 +76,10 @@ func (ib *inboxRing) grow(need int) {
 	ib.slots, ib.start = newSlots, 0
 }
 
-// put records an arrival for (round, pos) where pos is the sender's index in
+// Put records an arrival for (round, pos) where pos is the sender's index in
 // the node's sorted in-neighbor list. It reports whether the arrival was
-// fresh (false = duplicate, dropped). round must be ≥ base.
-func (ib *inboxRing) put(round, pos int, v float64) bool {
+// fresh (false = duplicate, dropped). round must be ≥ Base().
+func (ib *Ring) Put(round, pos int, v float64) bool {
 	if round-ib.base >= ib.slots {
 		ib.grow(round - ib.base + 1)
 	}
@@ -74,18 +93,18 @@ func (ib *inboxRing) put(round, pos int, v float64) bool {
 	return true
 }
 
-// filled returns how many distinct senders have delivered for round.
-func (ib *inboxRing) filled(round int) int {
+// Filled returns how many distinct senders have delivered for round.
+func (ib *Ring) Filled(round int) int {
 	if round-ib.base >= ib.slots {
 		return 0
 	}
 	return ib.count[ib.slot(round)]
 }
 
-// gather appends the present values of round's slot to buf in ascending
+// Gather appends the present values of round's slot to buf in ascending
 // sender order (positions are aligned with the sorted in-neighbor list
 // senders, so no sort is needed) and returns the extended slice.
-func (ib *inboxRing) gather(round int, senders []int, buf []core.ValueFrom) []core.ValueFrom {
+func (ib *Ring) Gather(round int, senders []int, buf []core.ValueFrom) []core.ValueFrom {
 	s := ib.slot(round)
 	for k := 0; k < ib.deg; k++ {
 		if ib.present[s*ib.deg+k] {
@@ -95,9 +114,9 @@ func (ib *inboxRing) gather(round int, senders []int, buf []core.ValueFrom) []co
 	return buf
 }
 
-// pop clears the slot of round base and advances the window by one round.
+// Pop clears the slot of round Base() and advances the window by one round.
 // Callers must have consumed the slot first.
-func (ib *inboxRing) pop() {
+func (ib *Ring) Pop() {
 	s := ib.start
 	for k := 0; k < ib.deg; k++ {
 		ib.present[s*ib.deg+k] = false
@@ -105,4 +124,18 @@ func (ib *inboxRing) pop() {
 	ib.count[s] = 0
 	ib.base++
 	ib.start = (ib.start + 1) % ib.slots
+}
+
+// Reset drops all buffered arrivals and rebases the window at round — the
+// volatile-state loss of a node crash: the owner restarts from its durable
+// (round, value) state with an empty inbox and relies on peer resends to
+// re-fill the current round's slot.
+func (ib *Ring) Reset(round int) {
+	for i := range ib.present {
+		ib.present[i] = false
+	}
+	for i := range ib.count {
+		ib.count[i] = 0
+	}
+	ib.base, ib.start = round, 0
 }

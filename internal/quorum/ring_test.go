@@ -1,0 +1,139 @@
+package quorum
+
+import (
+	"math/rand"
+	"testing"
+
+	"iabc/internal/core"
+)
+
+func TestCount(t *testing.T) {
+	if got := Count(7, 2); got != 5 {
+		t.Fatalf("Count(7,2) = %d, want 5", got)
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	senders := []int{2, 5, 9}
+	ib := NewRing(len(senders))
+	if ib.Base() != 0 {
+		t.Fatalf("fresh ring base = %d", ib.Base())
+	}
+	if !ib.Put(0, 1, 5.0) {
+		t.Fatal("first arrival rejected")
+	}
+	if ib.Put(0, 1, 6.0) {
+		t.Fatal("duplicate (sender, round) accepted")
+	}
+	if got := ib.Filled(0); got != 1 {
+		t.Fatalf("Filled(0) = %d, want 1", got)
+	}
+	ib.Put(0, 0, 2.0)
+	ib.Put(0, 2, 9.0)
+	got := ib.Gather(0, senders, nil)
+	want := []core.ValueFrom{{From: 2, Value: 2}, {From: 5, Value: 5}, {From: 9, Value: 9}}
+	if len(got) != len(want) {
+		t.Fatalf("gathered %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Gather[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	ib.Pop()
+	if ib.Base() != 1 {
+		t.Fatalf("base after Pop = %d, want 1", ib.Base())
+	}
+	if ib.Filled(1) != 0 {
+		t.Fatal("round 1 not empty after Pop")
+	}
+}
+
+func TestRingGrowsForRunahead(t *testing.T) {
+	ib := NewRing(2)
+	// A sender 40 rounds ahead forces two geometric growths; earlier
+	// arrivals must survive the re-layout.
+	ib.Put(0, 0, 1.0)
+	ib.Put(3, 1, 4.0)
+	ib.Put(40, 0, 7.0)
+	if ib.Filled(0) != 1 || ib.Filled(3) != 1 || ib.Filled(40) != 1 {
+		t.Fatalf("fill counts after growth: %d %d %d",
+			ib.Filled(0), ib.Filled(3), ib.Filled(40))
+	}
+	got := ib.Gather(3, []int{10, 11}, nil)
+	if len(got) != 1 || got[0] != (core.ValueFrom{From: 11, Value: 4}) {
+		t.Fatalf("Gather(3) = %+v after growth", got)
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	ib := NewRing(3)
+	ib.Put(0, 0, 1.0)
+	ib.Put(2, 1, 2.0)
+	ib.Reset(5)
+	if ib.Base() != 5 {
+		t.Fatalf("base after Reset = %d, want 5", ib.Base())
+	}
+	for r := 5; r < 10; r++ {
+		if ib.Filled(r) != 0 {
+			t.Fatalf("round %d not empty after Reset", r)
+		}
+	}
+	if !ib.Put(5, 0, 3.0) {
+		t.Fatal("arrival after Reset rejected")
+	}
+	if ib.Filled(5) != 1 {
+		t.Fatal("Reset ring does not accept fresh arrivals")
+	}
+}
+
+// TestRingMatchesMap cross-checks the ring against a naive map model under a
+// random workload of puts, pops, and run-ahead rounds.
+func TestRingMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const deg = 4
+	senders := []int{1, 3, 6, 8}
+	ib := NewRing(deg)
+	model := map[[2]int]float64{} // (round, pos) -> value
+	base := 0
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			round := base + rng.Intn(12)
+			pos := rng.Intn(deg)
+			v := rng.Float64()
+			_, dup := model[[2]int{round, pos}]
+			if fresh := ib.Put(round, pos, v); fresh == dup {
+				t.Fatalf("step %d: Put(%d,%d) fresh=%v, model dup=%v", step, round, pos, fresh, dup)
+			}
+			if !dup {
+				model[[2]int{round, pos}] = v
+			}
+		case 2:
+			full := 0
+			for pos := 0; pos < deg; pos++ {
+				if _, ok := model[[2]int{base, pos}]; ok {
+					full++
+				}
+			}
+			if ib.Filled(base) != full {
+				t.Fatalf("step %d: Filled(%d) = %d, model %d", step, base, ib.Filled(base), full)
+			}
+			if full == deg {
+				got := ib.Gather(base, senders, nil)
+				for k, pos := 0, 0; pos < deg; pos++ {
+					want := core.ValueFrom{From: senders[pos], Value: model[[2]int{base, pos}]}
+					if got[k] != want {
+						t.Fatalf("step %d: Gather[%d] = %+v, want %+v", step, k, got[k], want)
+					}
+					k++
+				}
+				ib.Pop()
+				for pos := 0; pos < deg; pos++ {
+					delete(model, [2]int{base, pos})
+				}
+				base++
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInprocDelivers(t *testing.T) {
+	tr := NewInproc(3, 4)
+	defer tr.Close()
+	ctx := context.Background()
+	if err := tr.Send(ctx, 0, 2, Msg{Round: 1, Value: 0.5, Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-tr.Recv(2):
+		want := Delivery{From: 0, To: 2, Msg: Msg{Round: 1, Value: 0.5, Seq: 7}}
+		if d != want {
+			t.Fatalf("delivery = %+v, want %+v", d, want)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+	if tr.Sends() != 1 {
+		t.Fatalf("Sends() = %d", tr.Sends())
+	}
+}
+
+func TestInprocBoundsCheck(t *testing.T) {
+	tr := NewInproc(2, 1)
+	defer tr.Close()
+	for _, link := range [][2]int{{-1, 0}, {0, 2}, {5, -3}} {
+		if err := tr.Send(context.Background(), link[0], link[1], Msg{}); err == nil {
+			t.Fatalf("send %d -> %d accepted", link[0], link[1])
+		}
+	}
+}
+
+// TestInprocBackpressure pins the bounded-queue contract: with the
+// receiver's queue full, Send blocks until ctx cancellation (and reports
+// ctx.Err()), rather than growing memory or dropping.
+func TestInprocBackpressure(t *testing.T) {
+	tr := NewInproc(2, 2)
+	defer tr.Close()
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := tr.Send(ctx, 0, 1, Msg{Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := tr.Send(cctx, 0, 1, Msg{Seq: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("full-queue send: err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("full-queue send returned before ctx expiry — no backpressure")
+	}
+	// Draining one slot unblocks the next send immediately.
+	<-tr.Recv(1)
+	if err := tr.Send(ctx, 0, 1, Msg{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInprocCloseUnblocksSenders(t *testing.T) {
+	tr := NewInproc(2, 1)
+	if err := tr.Send(context.Background(), 0, 1, Msg{}); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- tr.Send(context.Background(), 0, 1, Msg{Seq: 1}) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked send after Close: err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock the pending send")
+	}
+	if err := tr.Send(context.Background(), 1, 0, Msg{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after Close: err = %v, want ErrClosed", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal("second Close must be a no-op, got", err)
+	}
+}

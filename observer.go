@@ -17,6 +17,10 @@ const (
 	// EventCheckDone reports one completed check of a MaxF scan (F,
 	// Satisfied).
 	EventCheckDone
+	// EventNodeUpdate reports one fault-free state change in a cluster run
+	// (Node, Round = the node's new round counter, Value = its new
+	// estimate, Range = fault-free range after the change).
+	EventNodeUpdate
 )
 
 // Event is one streaming progress report. Only the fields documented for
@@ -44,10 +48,15 @@ type Event struct {
 	// (EventCheckProgress); Total is 0 when the extent exceeds the int64
 	// binomial table.
 	Done, Total int64
+	// Node is the node whose state changed (EventNodeUpdate).
+	Node int
+	// Value is the node's new estimate (EventNodeUpdate).
+	Value float64
 }
 
 // Observer receives streaming progress events from Simulate, Sweep, Check,
-// and MaxF — progress without waiting for (or materializing) the result.
+// MaxF, and Cluster — progress without waiting for (or materializing) the
+// result.
 // Events are delivered synchronously from the hot coordinators, serialized
 // by the facade even when the work runs on multiple goroutines, so the
 // callback must be fast; a slow observer slows the run.

@@ -3,9 +3,11 @@ package iabc
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"iabc/internal/core"
 	"iabc/internal/sim"
+	"iabc/internal/transport"
 )
 
 // Engine selects the execution engine behind Simulate and Sweep. The three
@@ -93,6 +95,12 @@ type config struct {
 	faultyTick    float64
 	historyEvery  int
 	async         bool
+	transport     transport.Transport
+	chaos         transport.ChaosConfig
+	hasChaos      bool
+	resendEvery   time.Duration
+	sendTimeout   time.Duration
+	stallAfter    time.Duration
 	err           error // first option-level error, surfaced by the entry points
 }
 
@@ -266,6 +274,46 @@ func WithHistoryEvery(k int) Option { return func(c *config) { c.historyEvery = 
 // WithAsyncCondition makes Check decide the Section 7 asynchronous
 // condition (in-link threshold 2f+1) instead of the synchronous f+1.
 func WithAsyncCondition() Option { return func(c *config) { c.async = true } }
+
+// WithTransport makes Cluster run over t instead of a run-owned in-process
+// transport. The caller keeps ownership: Cluster leaves t open, so a chaos
+// wrapper built with NewChaosTransport can be inspected (ChaosStats) after
+// the run. Mutually exclusive with WithChaos — wrap explicitly when you
+// need both a custom transport and fault injection.
+func WithTransport(t Transport) Option {
+	return func(c *config) {
+		if t == nil {
+			c.fail(fmt.Errorf("iabc: WithTransport(nil)"))
+			return
+		}
+		c.transport = t
+	}
+}
+
+// WithChaos makes Cluster inject seeded network faults: the run-owned
+// in-process transport is wrapped in a chaos layer configured by cfg, and
+// cfg.Crashes additionally drive the actor crash/restart supervisor.
+// Mutually exclusive with WithTransport.
+func WithChaos(cfg ChaosConfig) Option {
+	return func(c *config) { c.chaos = cfg; c.hasChaos = true }
+}
+
+// WithResendEvery sets a cluster actor's initial stall-triggered
+// retransmission interval (it backs off exponentially while no progress is
+// made). 0 — the default — selects the node runtime's default.
+func WithResendEvery(d time.Duration) Option { return func(c *config) { c.resendEvery = d } }
+
+// WithSendTimeout sets the per-message send budget covering all retries in
+// a cluster run; expired sends are abandoned and repaired by a later resend
+// pass. 0 — the default — selects the node runtime's default.
+func WithSendTimeout(d time.Duration) Option { return func(c *config) { c.sendTimeout = d } }
+
+// WithStallAfter ends a cluster run with ClusterResult.Stalled once no
+// fault-free state change has been observed for d — the liveness cutoff for
+// runs under liveness-destroying partitions. 0 (the default) disables it;
+// set it whenever the chaos schedule may suspend liveness past MaxRounds'
+// reach.
+func WithStallAfter(d time.Duration) Option { return func(c *config) { c.stallAfter = d } }
 
 // faultySet materializes the configured fault set for an n-node graph.
 func (c *config) faultySet(n int) (Set, error) {
