@@ -212,7 +212,15 @@ func Check(ctx context.Context, g *Graph, f int, opts ...Option) (CheckResult, e
 			obs(Event{Kind: EventCheckProgress, F: f, Done: p.FaultSetsDone, Total: p.FaultSetsTotal})
 		}
 	}
-	return condition.CheckScan(ctx, g, f, threshold, c.workers, progress)
+	store, err := c.stateBackend()
+	if err != nil {
+		return CheckResult{}, err
+	}
+	return condition.CheckScan(ctx, g, f, threshold, condition.ScanOptions{
+		Workers:    c.workers,
+		OnProgress: progress,
+		Store:      store,
+	})
 }
 
 // MaxF returns the largest f for which g satisfies the synchronous
@@ -233,7 +241,11 @@ func MaxFWithStats(ctx context.Context, g *Graph, opts ...Option) (int, MaxFStat
 	if err != nil {
 		return -1, MaxFStats{}, err
 	}
-	mo := condition.MaxFOptions{Workers: c.workers}
+	store, err := c.stateBackend()
+	if err != nil {
+		return -1, MaxFStats{}, err
+	}
+	mo := condition.MaxFOptions{Workers: c.workers, Store: store}
 	if obs := c.observer; obs != nil {
 		var mu sync.Mutex
 		emit := func(e Event) {

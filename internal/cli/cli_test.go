@@ -90,6 +90,73 @@ func TestMaxF(t *testing.T) {
 	}
 }
 
+// TestCheckStateDir drives the -state-dir flag end to end: first run scans
+// and persists, second run is served from the verdict cache with the
+// verdict/work lines byte-identical and the provenance on its own line.
+func TestCheckStateDir(t *testing.T) {
+	dir := t.TempDir()
+	code, first, _ := run(t, "", "check", "-topo", "core:7,2", "-f", "2", "-state-dir", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Contains(first, "state:") {
+		t.Errorf("fresh run printed provenance: %q", first)
+	}
+	code, second, _ := run(t, "", "check", "-topo", "core:7,2", "-f", "2", "-state-dir", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(second, "state: verdict served from cache") {
+		t.Errorf("cached run missing provenance line: %q", second)
+	}
+	// Everything except the provenance line is byte-identical.
+	strip := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "state:") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(first) != strip(second) {
+		t.Errorf("cached output differs:\nfirst  %q\nsecond %q", first, second)
+	}
+}
+
+// TestMaxFStateDir: same contract for the sweep — cached rerun, identical
+// maxf/work lines, provenance reporting the cache hits.
+func TestMaxFStateDir(t *testing.T) {
+	dir := t.TempDir()
+	code, first, _ := run(t, "", "maxf", "-topo", "complete:7", "-state-dir", dir)
+	if code != 0 || !strings.Contains(first, "maxf: 2") {
+		t.Fatalf("code=%d out=%q", code, first)
+	}
+	code, second, _ := run(t, "", "maxf", "-topo", "complete:7", "-state-dir", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(second, "verdict cache hits") {
+		t.Errorf("cached sweep missing provenance: %q", second)
+	}
+	for _, prefix := range []string{"maxf:", "work:"} {
+		var a, b string
+		for _, line := range strings.Split(first, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				a = line
+			}
+		}
+		for _, line := range strings.Split(second, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				b = line
+			}
+		}
+		if a == "" || a != b {
+			t.Errorf("%q line differs: first %q, second %q", prefix, a, b)
+		}
+	}
+}
+
 func TestMaxFDisconnected(t *testing.T) {
 	edge := "n 4\n0 1\n1 0\n2 3\n3 2\n"
 	code, stdout, _ := run(t, edge, "maxf", "-topo", "-")

@@ -6,6 +6,7 @@ import (
 
 	"iabc/internal/graph"
 	"iabc/internal/nodeset"
+	"iabc/internal/statestore"
 )
 
 // Witness is a partition F, L, C, R of V violating Theorem 1: |F| ≤ f,
@@ -82,6 +83,15 @@ type Result struct {
 	// complement's maximal insulated subset empty (see
 	// insulationScratch.dead). Always ≤ CandidatesExamined.
 	MemoHits int64
+	// FaultSetsResumed counts fault sets skipped because a persisted
+	// checkpoint (ScanOptions.Store) already covered them. Their counter
+	// contributions are restored from the checkpoint, so every total above
+	// equals an uninterrupted run's; this field only reports how much of
+	// the scan was inherited.
+	FaultSetsResumed int64
+	// CacheHit reports that the whole Result — verdict, witness, and
+	// counters — was served from the verdict cache without enumeration.
+	CacheHit bool
 }
 
 // checkCounters accumulates per-fault-set work; one instance per goroutine.
@@ -154,7 +164,7 @@ func CheckAsync(g *graph.Graph, f int) (Result, error) {
 // CheckThreshold is the sequential, uncancellable form; CheckScan is the
 // full coordinator with context, workers, and progress streaming.
 func CheckThreshold(g *graph.Graph, f, threshold int) (Result, error) {
-	return CheckScan(context.Background(), g, f, threshold, 1, nil)
+	return CheckScan(context.Background(), g, f, threshold, ScanOptions{Workers: 1})
 }
 
 // isInsulated reports whether every node of x has at most threshold-1
@@ -288,7 +298,9 @@ func MaxF(g *graph.Graph) (int, error) {
 // MaxFStats aggregates the checker work a MaxF scan performed across its
 // Check calls — the numbers `iabc maxf` reports.
 type MaxFStats struct {
-	// ChecksRun counts the Check invocations (one per f tried).
+	// ChecksRun counts the checks settled by the scan, one per f tried —
+	// including checks replayed from a persisted scan record or served by
+	// the verdict cache, so the total matches an uninterrupted scan.
 	ChecksRun int
 	// FaultSetsExamined, CandidatesExamined, CandidatesPruned and MemoHits
 	// sum the corresponding Result counters over all checks.
@@ -296,6 +308,14 @@ type MaxFStats struct {
 	CandidatesExamined int64
 	CandidatesPruned   int64
 	MemoHits           int64
+	// ChecksResumed counts checks settled from the persisted scan record of
+	// an interrupted MaxFScan (skipped without re-running).
+	ChecksResumed int
+	// CacheHits counts checks served whole from the verdict cache.
+	CacheHits int
+	// FaultSetsResumed sums Result.FaultSetsResumed over the live checks —
+	// fault sets inherited from mid-check checkpoints.
+	FaultSetsResumed int64
 }
 
 // MaxFWithStats is MaxF plus the aggregated work counters of the scan.
@@ -309,19 +329,31 @@ type MaxFOptions struct {
 	// value — runs the sequential scan, < 0 selects GOMAXPROCS.
 	Workers int
 	// OnCheck, when non-nil, is invoked after each completed Check with the
-	// f just decided and its Result — the f-sweep's progress stream.
+	// f just decided and its Result — the f-sweep's progress stream. It is
+	// not re-fired for checks replayed from a persisted scan record.
 	OnCheck func(f int, res Result)
 	// OnProgress, when non-nil, streams the inner fault-set progress of the
 	// check currently running at f (see ProgressFunc for the concurrency
 	// contract).
 	OnProgress func(f int, p Progress)
+	// Store, when non-nil, makes the scan durable: each settled f is
+	// persisted (with its Result counters) so an interrupted scan resumes
+	// past settled checks, each in-flight check checkpoints at fault-set
+	// granularity, and settled verdicts are cached by canonical graph
+	// encoding — a later scan of the same graph reports cache hits instead
+	// of re-enumerating. Stats totals are identical either way.
+	Store statestore.Backend
+	// CheckpointEvery is the per-check checkpoint cadence (see
+	// ScanOptions.CheckpointEvery).
+	CheckpointEvery int
 }
 
 // MaxFScan is the full MaxF coordinator: the monotone f-sweep with context
 // cancellation (checked at fault-set granularity inside each CheckScan),
-// a per-check worker count, and progress callbacks. On error — including
-// cancellation — it returns the best f decided so far and the stats
-// accumulated up to the point of interruption.
+// a per-check worker count, progress callbacks, and — with MaxFOptions.
+// Store — crash-safe resume. On error — including cancellation — it
+// returns the best f decided so far and the stats accumulated up to the
+// point of interruption.
 func MaxFScan(ctx context.Context, g *graph.Graph, opts MaxFOptions) (int, MaxFStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -332,20 +364,70 @@ func MaxFScan(ctx context.Context, g *graph.Graph, opts MaxFOptions) (int, MaxFS
 	}
 	best := -1
 	var stats MaxFStats
-	for f := 0; 3*f < g.N(); f++ {
+	var rec maxfRecord
+	startF := 0
+	if opts.Store != nil {
+		var err error
+		rec, err = loadMaxFRecord(ctx, opts.Store, g.Encode())
+		if err != nil {
+			return best, stats, err
+		}
+		// Replay the settled prefix: each recorded check contributes its
+		// original counters, so totals equal an uninterrupted scan's.
+		for _, c := range rec.Checks {
+			stats.ChecksRun++
+			stats.ChecksResumed++
+			stats.FaultSetsExamined += c.FaultSets
+			stats.CandidatesExamined += c.Candidates
+			stats.CandidatesPruned += c.Pruned
+			stats.MemoHits += c.MemoHits
+			if !c.Satisfied {
+				// The scan had already settled negatively; only the record
+				// cleanup was lost. Finish it now.
+				if err := opts.Store.Delete(ctx, maxfKey(rec.Graph)); err != nil {
+					return best, stats, fmt.Errorf("condition: clearing maxf record: %w", err)
+				}
+				return best, stats, nil
+			}
+			best = c.F
+		}
+		startF = len(rec.Checks)
+	}
+	for f := startF; 3*f < g.N(); f++ {
 		var progress ProgressFunc
 		if opts.OnProgress != nil {
 			f := f
 			progress = func(p Progress) { opts.OnProgress(f, p) }
 		}
-		res, err := CheckScan(ctx, g, f, SyncThreshold(f), workers, progress)
+		res, err := CheckScan(ctx, g, f, SyncThreshold(f), ScanOptions{
+			Workers:         workers,
+			OnProgress:      progress,
+			Store:           opts.Store,
+			CheckpointEvery: opts.CheckpointEvery,
+		})
 		stats.ChecksRun++
 		stats.FaultSetsExamined += res.FaultSetsExamined
 		stats.CandidatesExamined += res.CandidatesExamined
 		stats.CandidatesPruned += res.CandidatesPruned
 		stats.MemoHits += res.MemoHits
+		stats.FaultSetsResumed += res.FaultSetsResumed
+		if res.CacheHit {
+			stats.CacheHits++
+		}
 		if err != nil {
 			return best, stats, fmt.Errorf("condition: maxf scan at f=%d: %w", f, err)
+		}
+		if opts.Store != nil {
+			rec.Checks = append(rec.Checks, maxfCheck{
+				F: f, Satisfied: res.Satisfied,
+				FaultSets:  res.FaultSetsExamined,
+				Candidates: res.CandidatesExamined,
+				Pruned:     res.CandidatesPruned,
+				MemoHits:   res.MemoHits,
+			})
+			if err := rec.save(ctx, opts.Store); err != nil {
+				return best, stats, err
+			}
 		}
 		if opts.OnCheck != nil {
 			opts.OnCheck(f, res)
@@ -354,6 +436,13 @@ func MaxFScan(ctx context.Context, g *graph.Graph, opts MaxFOptions) (int, MaxFS
 			break
 		}
 		best = f
+	}
+	if opts.Store != nil {
+		// The scan settled: drop the in-flight record. The per-f verdicts
+		// stay cached, so a fresh scan of this graph reports CacheHits.
+		if err := opts.Store.Delete(ctx, maxfKey(rec.Graph)); err != nil {
+			return best, stats, fmt.Errorf("condition: clearing maxf record: %w", err)
+		}
 	}
 	return best, stats, nil
 }

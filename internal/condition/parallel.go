@@ -9,6 +9,7 @@ import (
 
 	"iabc/internal/graph"
 	"iabc/internal/nodeset"
+	"iabc/internal/statestore"
 )
 
 // Progress is a streaming snapshot of an exact check's fault-set scan.
@@ -40,24 +41,47 @@ func totalFaultSets(n, f int) int64 {
 	return total
 }
 
+// ScanOptions configures a CheckScan.
+type ScanOptions struct {
+	// Workers fans the fault-set enumeration across goroutines: ≤ 0 selects
+	// GOMAXPROCS, 1 (or trivially small inputs) runs the sequential scan.
+	// The verdict and witness are identical at every worker count.
+	Workers int
+	// OnProgress, when non-nil, streams one Progress snapshot per processed
+	// fault set (see ProgressFunc for the concurrency contract).
+	OnProgress ProgressFunc
+	// Store, when non-nil, makes the scan durable: the contiguous prefix of
+	// completed fault sets and its aggregate work counters are checkpointed
+	// periodically, a fresh scan resumes past the persisted prefix with
+	// verdict, witness, and counter totals identical to an uninterrupted
+	// run, and settled verdicts are cached by the canonical graph encoding
+	// (Result.CacheHit) so repeated topologies skip enumeration entirely.
+	// Store errors abort the scan.
+	Store statestore.Backend
+	// CheckpointEvery is the fault-set interval between checkpoint writes
+	// (0 = DefaultCheckpointEvery); a time-based flush runs alongside it.
+	// The cadence never affects results, only resume freshness.
+	CheckpointEvery int
+}
+
 // CheckScan is the full exact-check coordinator behind CheckThreshold and
 // CheckParallel: it decides the Theorem 1 condition at the given in-link
-// threshold with a configurable worker count, honoring ctx and streaming
-// per-fault-set progress.
+// threshold with a configurable worker count, honoring ctx, streaming
+// per-fault-set progress, and — with ScanOptions.Store — checkpointing the
+// scan for crash-safe resume plus caching the settled verdict.
 //
 // Cancellation is checked between fault sets — never inside the candidate
 // enumeration — so CheckScan returns within one fault set's scan time of
 // ctx being canceled. On cancellation (or any error) the returned Result
 // carries the work counters accumulated so far, but Satisfied and Witness
 // are meaningless; the error wraps ctx.Err() together with how far the scan
-// got.
+// got. With a Store, an interrupted scan flushes a final checkpoint before
+// returning, so the next CheckScan with the same store resumes there.
 //
-// workers ≤ 0 selects GOMAXPROCS; 1 (or trivially small inputs) runs the
-// sequential scan. The verdict and witness are identical at every worker
-// count: workers race, but the reported witness always comes from the
-// lowest-indexed failing fault set in canonical enumeration order, which is
-// the one the sequential scan would return.
-func CheckScan(ctx context.Context, g *graph.Graph, f, threshold, workers int, onProgress ProgressFunc) (Result, error) {
+// With workers > 1 the workers race, but the reported witness always comes
+// from the lowest-indexed failing fault set in canonical enumeration order,
+// which is the one the sequential scan would return.
+func CheckScan(ctx context.Context, g *graph.Graph, f, threshold int, opts ScanOptions) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -71,34 +95,57 @@ func CheckScan(ctx context.Context, g *graph.Graph, f, threshold, workers int, o
 	if n-f > 62 {
 		return Result{}, fmt.Errorf("condition: exact check infeasible for n-f = %d > 62 nodes", n-f)
 	}
+	var st *scanState
+	if opts.Store != nil {
+		var cached *Result
+		var err error
+		st, cached, err = loadScanState(ctx, opts.Store, g, f, threshold, opts.CheckpointEvery)
+		if err != nil {
+			return Result{}, err
+		}
+		if cached != nil {
+			return *cached, nil
+		}
+	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || n < 8 {
-		return checkSequential(ctx, g, f, threshold, onProgress)
+		return checkSequential(ctx, g, f, threshold, opts.OnProgress, st)
 	}
-	return checkParallel(ctx, g, f, threshold, workers, onProgress)
+	return checkParallel(ctx, g, f, threshold, workers, opts.OnProgress, st)
 }
 
 // checkSequential is the single-goroutine fault-set scan — the reference
-// enumeration order the parallel scan's witness selection reproduces.
-func checkSequential(ctx context.Context, g *graph.Graph, f, threshold int, onProgress ProgressFunc) (Result, error) {
+// enumeration order the parallel scan's witness selection reproduces. With
+// a scanState it skips the checkpointed prefix (restoring its counter
+// aggregate) and checkpoints completed fault sets as it goes.
+func checkSequential(ctx context.Context, g *graph.Graph, f, threshold int, onProgress ProgressFunc, st *scanState) (Result, error) {
 	n := g.N()
 	universe := nodeset.Universe(n)
 	total := totalFaultSets(n, f)
-	res := Result{Satisfied: true}
+	skip, resumed := st.resumePoint()
+	res := Result{Satisfied: true, FaultSetsExamined: skip, FaultSetsResumed: skip}
 	scratch := newInsulationScratch(g)
 	var counters checkCounters
+	var idx int64 // position in the canonical enumeration order
 	var scanErr error
 
 	for fSize := 0; fSize <= f && fSize <= n; fSize++ {
 		nodeset.SubsetsAscendingSize(universe, fSize, fSize, func(fSet nodeset.Set) bool {
+			if idx < skip {
+				// Checkpointed prefix: satisfied, counters restored below.
+				idx++
+				return true
+			}
 			if ctx.Err() != nil {
 				scanErr = fmt.Errorf("condition: check canceled after %d/%d fault sets: %w",
 					res.FaultSetsExamined, total, context.Cause(ctx))
 				return false
 			}
 			res.FaultSetsExamined++
+			before := counters
 			ground := universe.Difference(fSet)
 			w := findDisjointInsulatedPair(scratch, ground, threshold, &counters)
 			if w != nil {
@@ -108,6 +155,14 @@ func checkSequential(ctx context.Context, g *graph.Graph, f, threshold int, onPr
 				res.Witness = w
 				return false
 			}
+			if scanErr = st.complete(ctx, idx, checkCounters{
+				candidates: counters.candidates - before.candidates,
+				pruned:     counters.pruned - before.pruned,
+				memoHits:   counters.memoHits - before.memoHits,
+			}); scanErr != nil {
+				return false
+			}
+			idx++
 			if onProgress != nil {
 				onProgress(Progress{FaultSetsDone: res.FaultSetsExamined, FaultSetsTotal: total})
 			}
@@ -117,19 +172,31 @@ func checkSequential(ctx context.Context, g *graph.Graph, f, threshold int, onPr
 			break
 		}
 	}
-	res.CandidatesExamined = counters.candidates
-	res.CandidatesPruned = counters.pruned
-	res.MemoHits = counters.memoHits
+	res.CandidatesExamined = resumed.candidates + counters.candidates
+	res.CandidatesPruned = resumed.pruned + counters.pruned
+	res.MemoHits = resumed.memoHits + counters.memoHits
 	if scanErr != nil {
 		// The verdict is undecided on an interrupted scan; only the work
-		// counters are meaningful.
+		// counters are meaningful. Flush a final checkpoint (on a fresh
+		// context — ctx is typically the canceled one) so a resume loses
+		// nothing that completed.
 		res.Satisfied = false
+		if ctx.Err() != nil {
+			st.flush(context.Background()) // best effort; scanErr already set
+		}
+		return res, scanErr
 	}
-	return res, scanErr
+	if err := st.finish(ctx, res); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // checkParallel fans the fault-set enumeration across worker goroutines.
-func checkParallel(ctx context.Context, g *graph.Graph, f, threshold, workers int, onProgress ProgressFunc) (Result, error) {
+// With a scanState the checkpointed prefix is skipped outright and each
+// completed fault set reports its counter delta to the checkpointer, whose
+// reorder buffer keeps the durable frontier contiguous.
+func checkParallel(ctx context.Context, g *graph.Graph, f, threshold, workers int, onProgress ProgressFunc, st *scanState) (Result, error) {
 	n := g.N()
 	// Materialize the fault sets in canonical (size-ascending, then
 	// combination-lexicographic) order — the same order checkSequential
@@ -143,6 +210,10 @@ func checkParallel(ctx context.Context, g *graph.Graph, f, threshold, workers in
 		})
 	}
 	total := totalFaultSets(n, f)
+	skip, resumed := st.resumePoint()
+	if skip > int64(len(faultSets)) {
+		skip = int64(len(faultSets))
+	}
 
 	witnesses := make([]*Witness, len(faultSets))
 	var (
@@ -153,8 +224,15 @@ func checkParallel(ctx context.Context, g *graph.Graph, f, threshold, workers in
 		pruned     atomic.Int64
 		memoHits   atomic.Int64
 		examined   atomic.Int64
+		storeMu    sync.Mutex
+		storeErr   error
 	)
 	bestFail.Store(int64(len(faultSets)))
+	next.Store(skip)
+	examined.Store(skip)
+	candidates.Store(resumed.candidates)
+	pruned.Store(resumed.pruned)
+	memoHits.Store(resumed.memoHits)
 
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -185,10 +263,24 @@ func checkParallel(ctx context.Context, g *graph.Graph, f, threshold, workers in
 					continue
 				}
 				done := examined.Add(1)
+				before := local
 				fSet := faultSets[i]
 				ground := universe.Difference(fSet)
 				wit := findDisjointInsulatedPair(scratch, ground, threshold, &local)
 				if wit == nil {
+					if err := st.complete(ctx, i, checkCounters{
+						candidates: local.candidates - before.candidates,
+						pruned:     local.pruned - before.pruned,
+						memoHits:   local.memoHits - before.memoHits,
+					}); err != nil {
+						storeMu.Lock()
+						if storeErr == nil {
+							storeErr = err
+						}
+						storeMu.Unlock()
+						canceled.Store(true)
+						return
+					}
 					if onProgress != nil {
 						onProgress(Progress{FaultSetsDone: done, FaultSetsTotal: total})
 					}
@@ -212,12 +304,21 @@ func checkParallel(ctx context.Context, g *graph.Graph, f, threshold, workers in
 	res := Result{
 		Satisfied:          true,
 		FaultSetsExamined:  examined.Load(),
+		FaultSetsResumed:   skip,
 		CandidatesExamined: candidates.Load(),
 		CandidatesPruned:   pruned.Load(),
 		MemoHits:           memoHits.Load(),
 	}
+	if storeErr != nil {
+		res.Satisfied = false
+		return res, storeErr
+	}
 	if canceled.Load() {
 		res.Satisfied = false
+		// Flush the contiguous frontier so the resume loses at most the
+		// out-of-order tail; ctx is the canceled one, so write on a fresh
+		// context.
+		st.flush(context.Background())
 		return res, fmt.Errorf("condition: check canceled after %d/%d fault sets: %w",
 			examined.Load(), total, context.Cause(ctx))
 	}
@@ -225,16 +326,20 @@ func checkParallel(ctx context.Context, g *graph.Graph, f, threshold, workers in
 		res.Satisfied = false
 		res.Witness = witnesses[b]
 	}
+	if err := st.finish(ctx, res); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
 // CheckParallel is Check with the fault-set enumeration fanned out across
 // worker goroutines — CheckScan at the synchronous threshold, without
-// progress streaming. The verdict and witness are identical to Check's.
+// progress streaming or persistence. The verdict and witness are identical
+// to Check's.
 //
 // The speedup tracks core count when the cost is spread over many fault
 // sets (large n, f ≥ 2) — per-fault-set work is independent and lock-free —
 // though coordination overhead caps the gain on few-core machines.
 func CheckParallel(ctx context.Context, g *graph.Graph, f, workers int) (Result, error) {
-	return CheckScan(ctx, g, f, SyncThreshold(f), workers, nil)
+	return CheckScan(ctx, g, f, SyncThreshold(f), ScanOptions{Workers: workers})
 }

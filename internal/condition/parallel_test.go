@@ -104,7 +104,7 @@ func TestCheckScanCancellation(t *testing.T) {
 		t.Run("pre-canceled", func(t *testing.T) {
 			ctx, cancel := context.WithCancel(context.Background())
 			cancel()
-			res, err := CheckScan(ctx, g, 2, SyncThreshold(2), workers, nil)
+			res, err := CheckScan(ctx, g, 2, SyncThreshold(2), ScanOptions{Workers: workers})
 			if !errors.Is(err, context.Canceled) {
 				t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
 			}
@@ -126,7 +126,7 @@ func TestCheckScanCancellation(t *testing.T) {
 					cancel()
 				}
 			}
-			_, err := CheckScan(ctx, g, 2, SyncThreshold(2), workers, progress)
+			_, err := CheckScan(ctx, g, 2, SyncThreshold(2), ScanOptions{Workers: workers, OnProgress: progress})
 			if !errors.Is(err, context.Canceled) {
 				t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
 			}
@@ -145,12 +145,12 @@ func TestCheckScanProgress(t *testing.T) {
 	g := mustComplete(t, 9)
 	want := totalFaultSets(9, 2) // 1 + 9 + 36
 	var calls int64
-	res, err := CheckScan(context.Background(), g, 2, SyncThreshold(2), 1, func(p Progress) {
+	res, err := CheckScan(context.Background(), g, 2, SyncThreshold(2), ScanOptions{Workers: 1, OnProgress: func(p Progress) {
 		calls++
 		if p.FaultSetsDone != calls || p.FaultSetsTotal != want {
 			t.Fatalf("progress %+v at call %d (total %d)", p, calls, want)
 		}
-	})
+	}})
 	if err != nil || !res.Satisfied {
 		t.Fatalf("res=%+v err=%v", res, err)
 	}

@@ -45,6 +45,34 @@ func (g *Graph) EdgeListString() string {
 	return sb.String()
 }
 
+// Encode returns the graph's canonical encoding: a compact single-line
+// string determined entirely by the node and edge sets — "g1:<n>;" followed
+// by each node's sorted out-neighbor list ("0>2,5;1>0;…", edge-free nodes
+// omitted). Two graphs encode equally iff Graph.Equal holds, independent of
+// construction order, so the encoding is a sound identity key for caches of
+// graph-determined results (the condition package's verdict cache keys on
+// it; Theorem 1's verdict is a pure function of (G, f, threshold)).
+//
+// The "g1" prefix versions the format: any future change to the encoding
+// must bump it so stale persisted keys miss instead of aliasing.
+func (g *Graph) Encode() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "g1:%d", g.n)
+	for i := 0; i < g.n; i++ {
+		if len(g.out[i]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, ";%d>", i)
+		for k, to := range g.out[i] {
+			if k > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", to)
+		}
+	}
+	return sb.String()
+}
+
 // ParseEdgeList reads a graph in edge-list format.
 func ParseEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)

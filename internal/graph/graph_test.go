@@ -249,6 +249,33 @@ func TestEdgeListRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEncodeCanonical pins the cache-key contract of Encode: equal graphs
+// encode equally regardless of edge insertion order, unequal graphs encode
+// differently, and the format carries its version prefix.
+func TestEncodeCanonical(t *testing.T) {
+	g1 := NewBuilder(4).AddEdge(0, 1).AddEdge(0, 2).AddEdge(2, 3).MustBuild()
+	g2 := NewBuilder(4).AddEdge(2, 3).AddEdge(0, 2).AddEdge(0, 1).MustBuild()
+	if g1.Encode() != g2.Encode() {
+		t.Fatalf("insertion order changed encoding:\n%s\nvs\n%s", g1.Encode(), g2.Encode())
+	}
+	if want := "g1:4;0>1,2;2>3"; g1.Encode() != want {
+		t.Fatalf("Encode() = %q, want %q", g1.Encode(), want)
+	}
+	distinct := []*Graph{
+		g1,
+		NewBuilder(4).AddEdge(0, 1).AddEdge(0, 2).MustBuild(),               // edge subset
+		NewBuilder(5).AddEdge(0, 1).AddEdge(0, 2).AddEdge(2, 3).MustBuild(), // larger order
+		NewBuilder(4).AddEdge(1, 0).AddEdge(2, 0).AddEdge(3, 2).MustBuild(), // transpose
+	}
+	seen := make(map[string]int)
+	for i, g := range distinct {
+		if j, dup := seen[g.Encode()]; dup {
+			t.Fatalf("graphs %d and %d alias to %q", i, j, g.Encode())
+		}
+		seen[g.Encode()] = i
+	}
+}
+
 func TestParseEdgeListErrors(t *testing.T) {
 	cases := []struct{ name, in string }{
 		{"empty", ""},

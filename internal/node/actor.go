@@ -9,6 +9,7 @@ import (
 
 	"iabc/internal/adversary"
 	"iabc/internal/core"
+	"iabc/internal/hashrand"
 	"iabc/internal/quorum"
 	"iabc/internal/transport"
 )
@@ -18,14 +19,22 @@ import (
 // the loss, so a slow or dead link cannot grow memory or block the actor.
 const edgeQueueCap = 64
 
-// seqOf packs a transmission identity into a Msg.Seq: the round, the resend
-// epoch (0 for a round's first broadcast, a fresh per-actor epoch for each
-// history resend pass and restart re-announcement), and the out-edge index.
-// Distinct epochs give retransmissions distinct Seqs, so a chaos layer that
-// keys its drop decision on Seq re-draws per transmission — a message
-// dropped once is not doomed to be dropped on every resend.
+// seqOf derives a transmission identity for a Msg.Seq from the round, the
+// resend epoch (0 for a round's first broadcast, a fresh per-actor epoch for
+// each history resend pass and restart re-announcement), and the out-edge
+// index. Distinct epochs give retransmissions distinct Seqs, so a chaos
+// layer that keys its drop decision on Seq re-draws per transmission — a
+// message dropped once is not doomed to be dropped on every resend.
+//
+// The identity is a keyed 64-bit hash of the full triple rather than a
+// bit-packed word: packing masked the epoch to 16 bits, so a long stall
+// (> 65536 resend passes) aliased epoch e with e+65536 and the chaos layer
+// re-drew the *same* fault decisions — exactly the doomed-forever pattern
+// epochs exist to break. Seq only ever feeds keyed hashing and dedup is
+// per (sender, round) at the receiver, so collision resistance, not
+// invertibility, is the requirement.
 func seqOf(round, epoch, edge int) uint64 {
-	return uint64(round)<<32 | uint64(epoch&0xffff)<<16 | uint64(edge&0xffff)
+	return hashrand.Key(0, uint64(round), uint64(epoch), uint64(edge))
 }
 
 // sender owns a node's outbound side: one bounded queue and one pump

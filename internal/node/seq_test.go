@@ -1,0 +1,39 @@
+package node
+
+import "testing"
+
+// TestSeqOfNoCollisionsBeyondEpochMask pins the transmission-identity
+// contract: distinct (round, epoch, edge) triples map to distinct Seqs even
+// when epochs pass the 16-bit boundary the old bit-packing masked with.
+// Under the packed encoding, epoch e and e+65536 produced identical Seqs, so
+// after 65536 resend passes the chaos layer re-drew the same per-Seq fault
+// decisions and a dropped message stayed dropped on every later pass.
+func TestSeqOfNoCollisionsBeyondEpochMask(t *testing.T) {
+	// A grid straddling the old mask boundaries on both epoch and edge,
+	// including the exact aliasing pairs (e, e+65536) and (edge, edge+65536).
+	rounds := []int{0, 1, 7, 1 << 20}
+	epochs := []int{0, 1, 2, 65535, 65536, 65537, 2 * 65536, 3*65536 + 1}
+	edges := []int{0, 1, 63, 65535, 65536, 65537}
+	type triple struct{ r, ep, ed int }
+	seen := make(map[uint64]triple, len(rounds)*len(epochs)*len(edges))
+	for _, r := range rounds {
+		for _, ep := range epochs {
+			for _, ed := range edges {
+				seq := seqOf(r, ep, ed)
+				if prev, dup := seen[seq]; dup {
+					t.Fatalf("seqOf collision: (%d,%d,%d) and (%d,%d,%d) both map to %#x",
+						prev.r, prev.ep, prev.ed, r, ep, ed, seq)
+				}
+				seen[seq] = triple{r, ep, ed}
+			}
+		}
+	}
+}
+
+// TestSeqOfDeterministic: equal triples must map to equal Seqs — the chaos
+// layer's reproducibility keys off it.
+func TestSeqOfDeterministic(t *testing.T) {
+	if seqOf(3, 70000, 5) != seqOf(3, 70000, 5) {
+		t.Fatal("seqOf is not a pure function")
+	}
+}

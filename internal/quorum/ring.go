@@ -94,8 +94,9 @@ func (ib *Ring) Put(round, pos int, v float64) bool {
 }
 
 // Filled returns how many distinct senders have delivered for round.
+// Rounds outside the stored window report 0.
 func (ib *Ring) Filled(round int) int {
-	if round-ib.base >= ib.slots {
+	if round < ib.base || round-ib.base >= ib.slots {
 		return 0
 	}
 	return ib.count[ib.slot(round)]
@@ -103,8 +104,14 @@ func (ib *Ring) Filled(round int) int {
 
 // Gather appends the present values of round's slot to buf in ascending
 // sender order (positions are aligned with the sorted in-neighbor list
-// senders, so no sort is needed) and returns the extended slice.
+// senders, so no sort is needed) and returns the extended slice. Rounds
+// outside the stored window gather nothing — the same totality guard
+// Filled has, so a round Filled reports empty can never gather another
+// round's values through the modular slot mapping.
 func (ib *Ring) Gather(round int, senders []int, buf []core.ValueFrom) []core.ValueFrom {
+	if round < ib.base || round-ib.base >= ib.slots {
+		return buf
+	}
 	s := ib.slot(round)
 	for k := 0; k < ib.deg; k++ {
 		if ib.present[s*ib.deg+k] {

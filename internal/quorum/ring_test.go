@@ -87,6 +87,119 @@ func TestRingReset(t *testing.T) {
 	}
 }
 
+// ringModel is the naive reference: inbox[(round, pos)] = value with
+// first-arrival-wins, a base cursor, and no windowing at all.
+type ringModel struct {
+	vals map[[2]int]float64
+	base int
+}
+
+func newRingModel() *ringModel { return &ringModel{vals: map[[2]int]float64{}} }
+
+func (m *ringModel) put(round, pos int, v float64) bool {
+	if _, dup := m.vals[[2]int{round, pos}]; dup {
+		return false
+	}
+	m.vals[[2]int{round, pos}] = v
+	return true
+}
+
+func (m *ringModel) filled(round, deg int) int {
+	n := 0
+	for pos := 0; pos < deg; pos++ {
+		if _, ok := m.vals[[2]int{round, pos}]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *ringModel) gather(round int, senders []int) []core.ValueFrom {
+	var out []core.ValueFrom
+	for pos := range senders {
+		if v, ok := m.vals[[2]int{round, pos}]; ok {
+			out = append(out, core.ValueFrom{From: senders[pos], Value: v})
+		}
+	}
+	return out
+}
+
+func (m *ringModel) pop(deg int) {
+	for pos := 0; pos < deg; pos++ {
+		delete(m.vals, [2]int{m.base, pos})
+	}
+	m.base++
+}
+
+func (m *ringModel) reset(round int) {
+	m.vals = map[[2]int]float64{}
+	m.base = round
+}
+
+// checkAgainstModel compares every round of the ring's live window (plus a
+// margin past it) with the model.
+func checkAgainstModel(t *testing.T, ib *Ring, m *ringModel, deg int, senders []int, window int) {
+	t.Helper()
+	if ib.Base() != m.base {
+		t.Fatalf("base: ring %d, model %d", ib.Base(), m.base)
+	}
+	for round := m.base; round < m.base+window; round++ {
+		if got, want := ib.Filled(round), m.filled(round, deg); got != want {
+			t.Fatalf("Filled(%d): ring %d, model %d", round, got, want)
+		}
+		got := ib.Gather(round, senders, nil)
+		want := m.gather(round, senders)
+		if len(got) != len(want) {
+			t.Fatalf("Gather(%d): ring %d values, model %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Gather(%d)[%d]: ring %+v, model %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRingGrowAfterWrap pins the re-layout that the basic growth test never
+// reaches: growth triggered while start is nonzero (the window has wrapped
+// around the slot array), for every possible start offset. The grow path
+// must re-linearize the wrapped window without losing or misplacing any
+// buffered arrival.
+func TestRingGrowAfterWrap(t *testing.T) {
+	const deg = 3
+	senders := []int{4, 7, 9}
+	for wrap := 0; wrap < 16; wrap++ { // 16 = two initial-capacity laps
+		ib := NewRing(deg)
+		m := newRingModel()
+		// Advance the window so start sits at wrap % initialSlots, with live
+		// arrivals straddling the wrap point.
+		for r := 0; r < wrap; r++ {
+			ib.Put(r, 0, float64(r))
+			m.put(r, 0, float64(r))
+			ib.Pop()
+			m.pop(deg)
+		}
+		// Fill the whole current window, then one Put far past it forces a
+		// (possibly repeated) growth from this exact wrap offset.
+		for r := m.base; r < m.base+8; r++ {
+			for pos := 0; pos < deg; pos++ {
+				ib.Put(r, pos, float64(r*10+pos))
+				m.put(r, pos, float64(r*10+pos))
+			}
+		}
+		far := m.base + 40
+		ib.Put(far, 1, 123.5)
+		m.put(far, 1, 123.5)
+		checkAgainstModel(t, ib, m, deg, senders, 48)
+		// The window must still pop and refill coherently after the growth.
+		for i := 0; i < 10; i++ {
+			ib.Pop()
+			m.pop(deg)
+		}
+		checkAgainstModel(t, ib, m, deg, senders, 48)
+	}
+}
+
 // TestRingMatchesMap cross-checks the ring against a naive map model under a
 // random workload of puts, pops, and run-ahead rounds.
 func TestRingMatchesMap(t *testing.T) {
@@ -136,4 +249,40 @@ func TestRingMatchesMap(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzRingModel drives an op sequence decoded from the fuzz input — Put with
+// arbitrary run-ahead (growth at whatever start offset the preceding Pops
+// left), Pop, and Reset — and asserts full Filled/Gather/Base equivalence
+// against the map model after every op. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzRingModel ./internal/quorum/` explores.
+func FuzzRingModel(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x82, 0x10, 0xC3, 0x07, 0x55})       // mixed ops
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x3F, 0x00})       // pops then far put
+	f.Add([]byte{0x3F, 0xC5, 0x80, 0x3F, 0x80, 0x80, 0x3F, 0xC0}) // grow, reset, grow
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const deg = 3
+		senders := []int{2, 5, 11}
+		ib := NewRing(deg)
+		m := newRingModel()
+		for i, op := range ops {
+			switch {
+			case op < 0x80: // Put: low bits choose run-ahead and position
+				round := m.base + int(op>>2)%30
+				pos := int(op) % deg
+				v := float64(i)
+				if fresh, want := ib.Put(round, pos, v), m.put(round, pos, v); fresh != want {
+					t.Fatalf("op %d: Put(%d,%d) fresh=%v, model %v", i, round, pos, fresh, want)
+				}
+			case op < 0xC0: // Pop
+				ib.Pop()
+				m.pop(deg)
+			default: // Reset with a forward jump
+				round := m.base + int(op&0x3F)
+				ib.Reset(round)
+				m.reset(round)
+			}
+			checkAgainstModel(t, ib, m, deg, senders, 40)
+		}
+	})
 }

@@ -1,0 +1,143 @@
+package statestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Dir is a Backend rooted in a local directory: each key maps to the file
+// <root>/<key>. Writes are atomic — the value lands in a temp file in the
+// destination directory and is renamed into place — so a reader (or a
+// process resuming after a kill mid-write) never observes a torn record;
+// it sees either the previous value or the new one.
+type Dir struct {
+	root string
+}
+
+// NewDir returns a directory backend rooted at root, creating the directory
+// (and parents) if needed.
+func NewDir(root string) (*Dir, error) {
+	if root == "" {
+		return nil, errors.New("statestore: empty state directory")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("statestore: creating state dir: %w", err)
+	}
+	return &Dir{root: root}, nil
+}
+
+// Root returns the backing directory.
+func (s *Dir) Root() string { return s.root }
+
+// path maps a validated key to its file path.
+func (s *Dir) path(key string) string {
+	return filepath.Join(s.root, filepath.FromSlash(key))
+}
+
+// Read implements Backend.
+func (s *Dir) Read(ctx context.Context, key string) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	return b, err
+}
+
+// Write implements Backend. The temp-then-rename dance keeps the update
+// atomic on POSIX filesystems; the temp file lives next to the destination
+// so the rename never crosses devices.
+func (s *Dir) Write(ctx context.Context, key string, value []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+filepath.Base(dst)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	_, werr := tmp.Write(value)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("statestore: writing %s: %w", key, werr)
+		}
+		return fmt.Errorf("statestore: writing %s: %w", key, cerr)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("statestore: %w", err)
+	}
+	return nil
+}
+
+// Delete implements Backend.
+func (s *Dir) Delete(ctx context.Context, key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := os.Remove(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// List implements Backend: it walks the root and returns every stored key
+// with the given prefix, sorted ascending (WalkDir visits lexically).
+// Temp files from in-flight writes are skipped.
+func (s *Dir) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var keys []string
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("statestore: listing %q: %w", prefix, err)
+	}
+	return keys, nil
+}
+
+var (
+	_ Backend = (*Dir)(nil)
+	_ Backend = (*Mem)(nil)
+)

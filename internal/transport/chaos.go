@@ -217,12 +217,15 @@ func (c *Chaos) forward(ctx context.Context, from, to int, m Msg, u float64) err
 func (c *Chaos) Recv(node int) <-chan Delivery { return c.inner.Recv(node) }
 
 // Close implements Transport: abort in-flight deliveries, wait the wrapper
-// goroutines out, close the inner transport.
+// goroutines out, then close the inner transport. The wait must precede the
+// inner Close — a delayed-delivery goroutine that already passed its
+// ctx.Done check may still be inside inner.Send, and closing the inner
+// transport under it would hand a live send a closed peer (counted as Lost
+// today, a use-after-close for inner transports with stricter lifecycles).
 func (c *Chaos) Close() error {
 	c.cancel()
-	err := c.inner.Close()
 	c.wg.Wait()
-	return err
+	return c.inner.Close()
 }
 
 // Stats returns a snapshot of the fault counters.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -208,6 +209,63 @@ func TestChaosInFlightLostOnCut(t *testing.T) {
 	}
 	if c.Stats().Lost == 0 {
 		t.Fatal("no in-flight losses recorded")
+	}
+}
+
+// lifecycleProbe is a Transport that records whether any Send arrives after
+// Close returned — the use-after-close a wrapper with delayed deliveries can
+// commit if it closes its inner transport before waiting its goroutines out.
+type lifecycleProbe struct {
+	inner           Transport
+	closed          atomic.Bool
+	sendsAfterClose atomic.Int64
+}
+
+func (p *lifecycleProbe) Send(ctx context.Context, from, to int, m Msg) error {
+	if p.closed.Load() {
+		p.sendsAfterClose.Add(1)
+		return ErrClosed
+	}
+	// Dwell inside the send so a racing Close has a window to overlap it.
+	time.Sleep(200 * time.Microsecond)
+	if p.closed.Load() {
+		p.sendsAfterClose.Add(1)
+		return ErrClosed
+	}
+	return p.inner.Send(ctx, from, to, m)
+}
+
+func (p *lifecycleProbe) Recv(node int) <-chan Delivery { return p.inner.Recv(node) }
+
+func (p *lifecycleProbe) Close() error {
+	p.closed.Store(true)
+	return p.inner.Close()
+}
+
+// TestChaosCloseOrdersInnerAfterDrain pins the Close ordering: the wrapper
+// must wait its delayed-delivery goroutines out BEFORE closing the inner
+// transport, so no inner Send ever overlaps or follows the inner Close.
+// With the order inverted (inner.Close before wg.Wait), goroutines whose
+// timers fired just before Close land their Sends on a closed transport —
+// the probe counts those.
+func TestChaosCloseOrdersInnerAfterDrain(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		probe := &lifecycleProbe{inner: NewInproc(2, 256)}
+		c := NewChaos(probe, ChaosConfig{Seed: int64(trial), MaxDelay: 2 * time.Millisecond})
+		for i := 0; i < 128; i++ {
+			if err := c.Send(context.Background(), 0, 1, Msg{Seq: uint64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Close while a crowd of delayed deliveries is mid-flight — some
+		// timers have fired and their goroutines are inside probe.Send.
+		time.Sleep(time.Millisecond)
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if n := probe.sendsAfterClose.Load(); n != 0 {
+			t.Fatalf("trial %d: %d inner Sends arrived at or after inner Close", trial, n)
+		}
 	}
 }
 

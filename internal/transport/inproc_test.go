@@ -93,3 +93,73 @@ func TestInprocCloseUnblocksSenders(t *testing.T) {
 		t.Fatal("second Close must be a no-op, got", err)
 	}
 }
+
+// TestInprocCloseSendDrainRace pins the Close/Send/drain three-way race: a
+// Send parked on a full queue whose transport is then closed must report
+// ErrClosed even when a concurrent drain frees a slot, making the enqueue
+// case ready alongside the closed case. The select picks between ready cases
+// at random, so without the post-enqueue done re-check the parked send
+// sneaks its message into the dead queue and returns nil on roughly half the
+// runs — the loop makes that coin flip land many times per test execution.
+func TestInprocCloseSendDrainRace(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		tr := NewInproc(2, 1)
+		if err := tr.Send(context.Background(), 0, 1, Msg{}); err != nil {
+			t.Fatal(err)
+		}
+		parked := make(chan error, 1)
+		go func() { parked <- tr.Send(context.Background(), 0, 1, Msg{Seq: 1}) }()
+		// Give the sender time to park on the full queue, then close and
+		// free a slot: both select cases become ready at once.
+		time.Sleep(time.Millisecond)
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-tr.Recv(1)
+		select {
+		case err := <-parked:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("iteration %d: parked send after Close: err = %v, want ErrClosed", i, err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("parked send never returned")
+		}
+	}
+}
+
+// TestInprocSendCloseConcurrent hammers Send against Close under the race
+// detector: whatever the interleaving, Send returns nil or ErrClosed (never
+// panics, never blocks), and Close is idempotent.
+func TestInprocSendCloseConcurrent(t *testing.T) {
+	tr := NewInproc(4, 2)
+	done := make(chan struct{})
+	for s := 0; s < 4; s++ {
+		s := s
+		go func() {
+			for j := 0; ; j++ {
+				err := tr.Send(context.Background(), s, (s+1)%4, Msg{Seq: uint64(j)})
+				if errors.Is(err, ErrClosed) {
+					done <- struct{}{}
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					done <- struct{}{}
+					return
+				}
+			}
+		}()
+	}
+	// Let the senders fill the queues and park, then close under them.
+	time.Sleep(5 * time.Millisecond)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatal("a sender never observed the close")
+		}
+	}
+}

@@ -115,6 +115,17 @@ func (t *Inproc) Send(ctx context.Context, from, to int, m Msg) error {
 	}
 	select {
 	case t.qs[to] <- Delivery{From: from, To: to, Msg: m}:
+		// Winning the enqueue does not prove the transport was open: when a
+		// send parked on a full queue is raced by Close and a concurrent
+		// drain, both select cases are ready and the runtime picks one at
+		// random. Re-check the flag so a Send that lost that race to Close
+		// still reports ErrClosed — Close's contract is that blocked Sends
+		// fail, not that they may sneak a message into a dead queue. (The
+		// enqueued copy is unreachable either way: the queues are abandoned
+		// after Close.)
+		if t.done.Load() {
+			return ErrClosed
+		}
 		t.sends.Add(1)
 		return nil
 	case <-ctx.Done():

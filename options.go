@@ -7,6 +7,7 @@ import (
 
 	"iabc/internal/core"
 	"iabc/internal/sim"
+	"iabc/internal/statestore"
 	"iabc/internal/transport"
 )
 
@@ -101,6 +102,8 @@ type config struct {
 	resendEvery   time.Duration
 	sendTimeout   time.Duration
 	stallAfter    time.Duration
+	stateDir      string
+	backend       statestore.Backend
 	err           error // first option-level error, surfaced by the entry points
 }
 
@@ -314,6 +317,49 @@ func WithSendTimeout(d time.Duration) Option { return func(c *config) { c.sendTi
 // set it whenever the chaos schedule may suspend liveness past MaxRounds'
 // reach.
 func WithStallAfter(d time.Duration) Option { return func(c *config) { c.stallAfter = d } }
+
+// WithStateDir makes Check and MaxF checkpoint scan progress and cache
+// verdicts under dir (created if absent), so an interrupted run restarted
+// with the same directory skips completed work and a repeated run over the
+// same graph returns its memoized verdict. The directory is a plain
+// filesystem layout — safe to inspect, copy, or delete between runs.
+// Mutually exclusive with WithBackend.
+func WithStateDir(dir string) Option {
+	return func(c *config) {
+		if dir == "" {
+			c.fail(fmt.Errorf("iabc: WithStateDir(\"\")"))
+			return
+		}
+		c.stateDir = dir
+	}
+}
+
+// WithBackend makes Check and MaxF persist checkpoints and verdicts through
+// b — any StateBackend implementation, e.g. NewMemBackend for tests or a
+// custom remote store. Mutually exclusive with WithStateDir.
+func WithBackend(b StateBackend) Option {
+	return func(c *config) {
+		if b == nil {
+			c.fail(fmt.Errorf("iabc: WithBackend(nil)"))
+			return
+		}
+		c.backend = b
+	}
+}
+
+// stateBackend resolves the configured persistence backend, if any.
+func (c *config) stateBackend() (statestore.Backend, error) {
+	if c.backend != nil && c.stateDir != "" {
+		return nil, fmt.Errorf("iabc: WithStateDir and WithBackend are mutually exclusive")
+	}
+	if c.backend != nil {
+		return c.backend, nil
+	}
+	if c.stateDir != "" {
+		return statestore.NewDir(c.stateDir)
+	}
+	return nil, nil
+}
 
 // faultySet materializes the configured fault set for an n-node graph.
 func (c *config) faultySet(n int) (Set, error) {

@@ -20,6 +20,7 @@ import (
 	"iabc/internal/graph"
 	"iabc/internal/nodeset"
 	"iabc/internal/sim"
+	"iabc/internal/statestore"
 	"iabc/internal/topology"
 )
 
@@ -228,6 +229,32 @@ func QuickScreenAsync(g *Graph, f int) []Violation { return condition.QuickScree
 func Repair(g *Graph, f, maxEdges int) (*RepairResult, error) {
 	return condition.Repair(g, f, maxEdges)
 }
+
+// —— Scan persistence (WithStateDir / WithBackend) ——
+
+// StateBackend is the pluggable persistence layer behind WithBackend:
+// a small keyed byte store over which Check and MaxF checkpoint scan
+// progress and cache verdicts. Keys are slash-separated path-like strings;
+// implementations must make Write atomic and return ErrStateNotFound from
+// Read on absent keys.
+type StateBackend = statestore.Backend
+
+// DirBackend persists state as files under a local directory; build one
+// with NewDirBackend, or let WithStateDir do it.
+type DirBackend = statestore.Dir
+
+// MemBackend is an in-memory StateBackend for tests and single-process
+// pipelines.
+type MemBackend = statestore.Mem
+
+// ErrStateNotFound is returned by StateBackend.Read for absent keys.
+var ErrStateNotFound = statestore.ErrNotFound
+
+// NewDirBackend returns a DirBackend rooted at dir, creating it if absent.
+func NewDirBackend(dir string) (*DirBackend, error) { return statestore.NewDir(dir) }
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend { return statestore.NewMem() }
 
 // Alpha returns the Lemma 5 contraction parameter α for (g, f).
 func Alpha(g *Graph, f int) (float64, error) { return analysis.Alpha(g, f) }
