@@ -601,6 +601,79 @@ func BenchmarkMatrixBatch(b *testing.B) {
 	b.ReportMetric(float64(rounds)*batch*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
 }
 
+// BenchmarkMatrixStreamBatch is BenchmarkMatrixBatch on a 20× horizon: the
+// streaming replay keeps program memory at O(edges) however many rounds
+// run, so the long-horizon rate should match the short one — any gap is a
+// regression in the stream-bound path.
+func BenchmarkMatrixStreamBatch(b *testing.B) {
+	const (
+		n, f   = 16, 2
+		rounds = 2000
+		batch  = 64
+	)
+	g := mustCore(b, n, f)
+	faulty := nodeset.FromMembers(n, 0, 1)
+	initial := make([]float64, n)
+	extras := make([][]float64, batch)
+	for x := range extras {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i + x)
+		}
+		extras[x] = v
+	}
+	for i := range initial {
+		initial[i] = float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, finals, err := sim.Matrix{}.RunBatch(sim.Config{
+			G: g, F: f, Faulty: faulty, Initial: initial,
+			Rule:      core.TrimmedMean{},
+			Adversary: adversary.Hug{High: true},
+			MaxRounds: rounds,
+		}, extras)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Rounds != rounds || len(finals) != batch {
+			b.Fatalf("rounds = %d, finals = %d", tr.Rounds, len(finals))
+		}
+	}
+	b.ReportMetric(float64(rounds)*batch*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
+}
+
+// BenchmarkAsyncCalendarQueue isolates the event-loop steady state the
+// calendar queue carries: constant delays, no epsilon stop, an EdgeWriter
+// adversary — the run is all queue push/pop and quorum bookkeeping. The
+// metric counts delivered messages.
+func BenchmarkAsyncCalendarQueue(b *testing.B) {
+	g, err := topology.Complete(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	initial := []float64{0, 1, 2, 3, 4, 5, 6}
+	b.ReportAllocs()
+	var delivered float64
+	for i := 0; i < b.N; i++ {
+		tr, err := async.Run(context.Background(), async.Config{
+			G: g, F: 1, Faulty: nodeset.FromMembers(7, 6),
+			Initial: initial, Rule: core.TrimmedMean{},
+			Adversary: adversary.Fixed{Value: 1e4},
+			Delays:    async.Fixed{D: 1},
+			MaxRounds: 400,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Converged {
+			b.Fatal("steady-state run unexpectedly converged")
+		}
+		delivered += float64(tr.Deliveries)
+	}
+	b.ReportMetric(delivered/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkAsyncRun measures the discrete-event engine end to end.
 func BenchmarkAsyncRun(b *testing.B) {
 	g, err := topology.Complete(7)

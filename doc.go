@@ -61,11 +61,11 @@
 //     Sequential.
 //   - sim.Matrix — materializes every round as a row-stochastic transition
 //     (the matrix representation of arXiv:1203.1888). Run matches
-//     Sequential; RunBatch replays the recorded round structure over many
+//     Sequential; RunBatch streams each round's transition over many
 //     initial vectors in structure-of-arrays layout, a few flops per edge
-//     per vector — use it for multi-scenario sensitivity sweeps where the
-//     round structure is shared. Supports the affine rules (TrimmedMean,
-//     Mean) only.
+//     per vector and O(edges) program memory however long the run — use it
+//     for multi-scenario sensitivity sweeps where the round structure is
+//     shared. Supports the affine rules (TrimmedMean, Mean) only.
 //
 // For sweeps that vary the adversary (or fault set) rather than the initial
 // vector — where the round structure itself changes and the matrix replay
@@ -128,6 +128,25 @@
 //     checked only between scenarios / fault sets / event batches (the
 //     round loops stay allocation-free, invariant 3), and observer
 //     callbacks are serialized even when work fans across workers.
+//  7. Flat program encoding. The matrix engine records each round as one
+//     CSR-style flat program — a shared column stream with row offsets, a
+//     separate literal stream for adversary-injected values, and per-row
+//     weights — walked in the exact canonical order of invariant 1, so the
+//     contiguous batch kernels stay bit-identical to the scalar reference.
+//     Batch replay is streaming: every program is pushed through all K
+//     extra vectors before the next round rebuilds it in place, holding
+//     program memory at O(edges) independent of the round count (enforced
+//     by TestStreamingReplayMatchesRetainedReference,
+//     TestStreamingReplayProgramMemoryOEdges, and FuzzRoundProgramFlat).
+//  8. Calendar-queue event core. The async engine's pending-event set is a
+//     bucketed calendar queue: days of fitted width, day d in bucket d mod
+//     nbuckets, resized on a 2-per-bucket grow / ⅛-per-bucket shrink
+//     hysteresis, with all day indexing through one monotone clamped map so
+//     push placement and pop windows can never disagree. Pop order is
+//     exactly the heap's (at, seq) contract — earliest time, FIFO among
+//     ties — so traces are bit-identical to the container/heap reference
+//     (TestCalendarQueueRunMatchesHeap, FuzzCalendarQueueMatchesHeap)
+//     while push/pop allocate nothing in steady state.
 //
 // bench_test.go in this directory hosts the benchmark harness: one
 // Benchmark per experiment plus micro-benchmarks for the hot paths; `iabc

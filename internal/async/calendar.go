@@ -1,0 +1,206 @@
+package async
+
+// calendarQueue is a bucketed calendar queue (R. Brown, "Calendar Queues: A
+// Fast O(1) Priority Queue Implementation for the Simulation Event Set
+// Problem", CACM 1988) specialized to the engine's events. It replaces the
+// binary heap on the event hot path: push appends to a bucket and pop scans
+// one small bucket — O(1) amortized against the heap's O(log n) — and,
+// unlike container/heap's interface-boxed Push, neither operation allocates
+// once the bucket capacities are warm (the differential allocs gate pins
+// this).
+//
+// Bucket policy. The calendar divides simulation time into days of fixed
+// width; day(d) lives in bucket d mod nbuckets, so the bucket array wraps
+// around like a calendar year. All day indexing goes through dayOf — a
+// single float64 multiply and truncation — so an event's bucket and its
+// in-window test can never disagree (day indexes are clamped to
+// [0, calMaxDay], which keeps the float→int conversion defined and still
+// maps equal days to equal buckets). The width is chosen at every resize so
+// the pending events spread to about one per day across their time span
+// (span/size, floored at calMinWidth and at a span/2^50 overflow guard);
+// the bucket count doubles when occupancy exceeds two events per bucket and
+// halves when it falls below one per eight, with the wide hysteresis
+// preventing resize thrash. In steady state — occupancy inside the
+// hysteresis band — no resize happens and the queue is allocation-free.
+//
+// Ordering contract. pop returns the globally smallest (at, seq) event —
+// exactly eventLess, the heap's order, so FIFO tie-breaking among
+// simultaneous events is preserved and async.Run is trace-identical on a
+// calendar queue and a heap (pinned by TestCalendarQueueRunMatchesHeap and
+// FuzzCalendarQueueMatchesHeap). Correctness rests on one invariant: the
+// search day never lies past a pending event (push rewinds the window when
+// an event lands on an earlier day; pop only advances past days it proved
+// empty). Since dayOf is monotone in time, the first day of the forward
+// scan that holds any events holds the globally earliest ones, and a full
+// eventLess scan of that one bucket selects the minimum. A full empty year
+// means the next event is more than nbuckets·width ahead; pop then finds
+// the global minimum by direct scan and jumps the calendar to it.
+type calendarQueue struct {
+	buckets [][]event
+	mask    int // len(buckets)-1; len is a power of two
+	width   float64
+	inv     float64 // 1/width
+	day     int64   // current search day; no pending event lies on an earlier day
+	size    int
+	spill   []event // resize scratch, reused
+}
+
+const (
+	// calMinBuckets floors the bucket count; shrinking stops here.
+	calMinBuckets = 8
+	// calMinWidth floors the day width so a zero time span cannot produce a
+	// degenerate calendar.
+	calMinWidth = 1e-12
+	// calMaxDay clamps day indexes: float64→int64 conversion is defined for
+	// every clamped value, and all clamped events share one day (and hence
+	// one bucket), where the full eventLess scan still orders them.
+	calMaxDay = int64(1) << 52
+)
+
+// newCalendarQueue returns an empty calendar with the minimum bucket count
+// and a unit day width; the first resize fits both to the workload.
+func newCalendarQueue() *calendarQueue {
+	q := &calendarQueue{
+		buckets: make([][]event, calMinBuckets),
+		mask:    calMinBuckets - 1,
+		width:   1,
+		inv:     1,
+	}
+	return q
+}
+
+func (q *calendarQueue) len() int { return q.size }
+
+// dayOf maps a simulation time to its calendar day. Monotone in at; equal
+// results always map to the same bucket.
+func (q *calendarQueue) dayOf(at float64) int64 {
+	d := at * q.inv
+	if !(d > 0) { // negative or NaN: clamp to the first day
+		return 0
+	}
+	if d >= float64(calMaxDay) {
+		return calMaxDay
+	}
+	return int64(d)
+}
+
+func (q *calendarQueue) push(e event) {
+	if q.size >= 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+	d := q.dayOf(e.at)
+	b := int(d) & q.mask
+	q.buckets[b] = append(q.buckets[b], e)
+	q.size++
+	if d < q.day {
+		// The event lands before the current search day (the window had
+		// advanced across empty days): rewind so pop cannot skip it.
+		q.day = d
+	}
+}
+
+func (q *calendarQueue) pop() (event, bool) {
+	if q.size == 0 {
+		return event{}, false
+	}
+	if q.size < len(q.buckets)/8 && len(q.buckets) > calMinBuckets {
+		nb := len(q.buckets) / 2
+		for nb > calMinBuckets && q.size < nb/8 {
+			nb /= 2
+		}
+		q.resize(nb)
+	}
+	nb := len(q.buckets)
+	for scanned := 0; scanned < nb; scanned++ {
+		bucket := q.buckets[int(q.day)&q.mask]
+		best := -1
+		for j := range bucket {
+			if q.dayOf(bucket[j].at) != q.day {
+				continue // an event of another wrap of the calendar
+			}
+			if best < 0 || eventLess(bucket[j], bucket[best]) {
+				best = j
+			}
+		}
+		if best >= 0 {
+			return q.remove(int(q.day)&q.mask, best), true
+		}
+		q.day++
+	}
+	// A whole year of empty days: the next event is more than
+	// nbuckets·width ahead. Find it directly and jump the calendar there.
+	bi, j := q.globalMin()
+	q.day = q.dayOf(q.buckets[bi][j].at)
+	return q.remove(bi, j), true
+}
+
+// remove swap-deletes event j from bucket bi and returns it.
+func (q *calendarQueue) remove(bi, j int) event {
+	bucket := q.buckets[bi]
+	e := bucket[j]
+	last := len(bucket) - 1
+	bucket[j] = bucket[last]
+	q.buckets[bi] = bucket[:last]
+	q.size--
+	return e
+}
+
+// globalMin locates the smallest (at, seq) event across all buckets. Only
+// reached when the forward scan proved a full year empty, so its O(size)
+// cost is paid once per long idle gap, not per pop.
+func (q *calendarQueue) globalMin() (bi, j int) {
+	bi, j = -1, -1
+	for b := range q.buckets {
+		for k := range q.buckets[b] {
+			if bi < 0 || eventLess(q.buckets[b][k], q.buckets[bi][j]) {
+				bi, j = b, k
+			}
+		}
+	}
+	return bi, j
+}
+
+// resize re-buckets every pending event into nb buckets with a width fitted
+// to the pending span — about one event per day, the occupancy the O(1)
+// analysis assumes.
+func (q *calendarQueue) resize(nb int) {
+	q.spill = q.spill[:0]
+	for b := range q.buckets {
+		q.spill = append(q.spill, q.buckets[b]...)
+		q.buckets[b] = q.buckets[b][:0]
+	}
+	if nb != len(q.buckets) {
+		q.buckets = make([][]event, nb)
+		q.mask = nb - 1
+	}
+	width := calMinWidth
+	if len(q.spill) > 0 {
+		minAt, maxAt := q.spill[0].at, q.spill[0].at
+		for _, e := range q.spill[1:] {
+			if e.at < minAt {
+				minAt = e.at
+			}
+			if e.at > maxAt {
+				maxAt = e.at
+			}
+		}
+		if w := (maxAt - minAt) / float64(len(q.spill)); w > width {
+			width = w
+		}
+		// Overflow guard: keep every pending day index far inside calMaxDay.
+		if w := maxAt / float64(int64(1)<<50); w > width {
+			width = w
+		}
+	}
+	q.width = width
+	q.inv = 1 / width
+	day := int64(0)
+	for i, e := range q.spill {
+		d := q.dayOf(e.at)
+		if i == 0 || d < day {
+			day = d
+		}
+		q.buckets[int(d)&q.mask] = append(q.buckets[int(d)&q.mask], e)
+	}
+	q.day = day
+}

@@ -1,7 +1,6 @@
 package async
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -167,25 +166,6 @@ type event struct {
 	value    float64
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
-}
-
 // cancelCheckEvery is the event-batch granularity of Run's cancellation
 // checks: ctx.Err() is consulted once per this many popped events, keeping
 // the per-event cost of cancellation support at one counter increment.
@@ -193,11 +173,23 @@ const cancelCheckEvery = 256
 
 // Run executes the asynchronous simulation to completion.
 //
+// The pending-event set lives in a bucketed calendar queue (see
+// calendarQueue): O(1) amortized push/pop and no per-event allocation, with
+// the delivery order — earliest time first, FIFO among ties — pinned
+// identical to the container/heap reference by the differential suite.
+//
 // ctx is checked at event-batch granularity (every cancelCheckEvery popped
 // events), so cancellation returns promptly without taxing the per-event
 // hot path. On cancellation the error wraps ctx.Err() together with the
 // simulation time reached and the deliveries processed.
 func Run(ctx context.Context, cfg Config) (*Trace, error) {
+	return runOnQueue(ctx, cfg, newCalendarQueue())
+}
+
+// runOnQueue is Run over an explicit event queue — the seam the
+// calendar-vs-heap conformance tests replay identical configurations
+// through.
+func runOnQueue(ctx context.Context, cfg Config, q eventPQ) (*Trace, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -231,14 +223,11 @@ func Run(ctx context.Context, cfg Config) (*Trace, error) {
 	buffered, _ := cfg.Rule.(core.BufferedRule)
 	var scratch core.Scratch
 
-	var (
-		q   eventQueue
-		seq int64
-	)
+	var seq int64
 	push := func(e event) {
 		e.seq = seq
 		seq++
-		heap.Push(&q, e)
+		q.push(e)
 	}
 
 	// send schedules the arrival of one round-tagged message.
@@ -318,13 +307,13 @@ func Run(ctx context.Context, cfg Config) (*Trace, error) {
 
 	var runErr error
 	var popped int
-	for q.Len() > 0 && !tr.Converged && runErr == nil {
+	for q.len() > 0 && !tr.Converged && runErr == nil {
 		if popped%cancelCheckEvery == 0 && ctx.Err() != nil {
 			return nil, fmt.Errorf("async: run canceled at t=%.6g after %d deliveries: %w",
 				tr.Time, tr.Deliveries, context.Cause(ctx))
 		}
 		popped++
-		e := heap.Pop(&q).(event)
+		e, _ := q.pop()
 		tr.Time = e.at
 		switch e.kind {
 		case evEmit:

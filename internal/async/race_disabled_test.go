@@ -1,0 +1,7 @@
+//go:build !race
+
+package async
+
+// raceEnabled reports that the race detector is active; allocation-exact
+// tests skip, since instrumentation allocates nondeterministically.
+const raceEnabled = false

@@ -183,6 +183,28 @@ func cmdBench(args []string, stdout io.Writer) error {
 		}
 		b.ReportMetric(float64(rounds)*batch*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
 	})
+	// The same batch on a long horizon: 20× the rounds through the streaming
+	// replay, whose program memory stays O(edges) however far the horizon
+	// extends. The vecrounds/s metric is comparable to matrix-batch64; the
+	// row exists so the trend gate catches regressions that only show up
+	// when the replay is stream-bound rather than setup-bound.
+	const streamRounds = 2000
+	streamOpts := engOpts(iabc.WithEngine(iabc.Matrix), iabc.WithExtras(extras),
+		iabc.WithMaxRounds(streamRounds))
+	run("engine/matrix-stream-batch64/core_n16_f2", func(b *testing.B) {
+		b.ReportAllocs()
+		scens := []iabc.Scenario{{Name: "base"}}
+		for i := 0; i < b.N; i++ {
+			res, err := iabc.Sweep(ctx, g, scens, streamOpts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Finals[0]) != batch {
+				b.Fatalf("finals = %d", len(res.Finals[0]))
+			}
+		}
+		b.ReportMetric(float64(streamRounds)*batch*float64(b.N)/b.Elapsed().Seconds(), "vecrounds/s")
+	})
 
 	// Steady-state round loop with an EdgeWriter adversary: MaxRounds is b.N
 	// so one op is one round and setup amortizes away — allocs/op must
@@ -313,6 +335,35 @@ func cmdBench(args []string, stdout io.Writer) error {
 				b.Fatal("did not converge")
 			}
 		}
+	})
+
+	// The event-loop steady state behind the async row: constant delays, no
+	// epsilon stop, an EdgeWriter adversary — the run is all calendar-queue
+	// push/pop and quorum bookkeeping, with no convergence check ending it
+	// early. One op is a full 400-round run; the events/s metric counts
+	// delivered messages.
+	run("async/calendar-queue/complete_n7_f1", func(b *testing.B) {
+		b.ReportAllocs()
+		var delivered float64
+		for i := 0; i < b.N; i++ {
+			out, err := iabc.Simulate(ctx, ag,
+				iabc.WithEngine(iabc.Async),
+				iabc.WithF(1),
+				iabc.WithFaulty(6),
+				iabc.WithInitial([]float64{0, 1, 2, 3, 4, 5, 6}),
+				iabc.WithAdversary(iabc.Fixed{Value: 1e4}),
+				iabc.WithDelays(iabc.FixedDelay{D: 1}),
+				iabc.WithMaxRounds(400),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Converged {
+				b.Fatal("steady-state run unexpectedly converged")
+			}
+			delivered += float64(out.AsyncTrace.Deliveries)
+		}
+		b.ReportMetric(delivered/b.Elapsed().Seconds(), "events/s")
 	})
 
 	// Raw in-process transport throughput: one op is one message through the

@@ -26,10 +26,13 @@ import (
 // first, then survivors in ascending sender order, one multiply by a_i at
 // the end).
 //
-// The payoff is RunBatch: the recorded per-round programs can be replayed
-// over many additional initial-value vectors at a few flops per edge, with
-// the round structure (trim decisions, adversary values, weights) paid for
-// once. The batch columns follow the primary execution's matrices — the
+// The payoff is RunBatch: each round's program is replayed over many
+// additional initial-value vectors at a few flops per edge, with the round
+// structure (trim decisions, adversary values, weights) paid for once. The
+// replay streams: every program is pushed through all extra vectors the
+// moment it is recorded, before the next round rebuilds it, so the whole
+// batch needs only O(edges) program memory however many rounds execute. The
+// batch columns follow the primary execution's matrices — the
 // matrix-representation semantics, i.e. a sensitivity/what-if analysis of
 // the recorded execution, not independent simulations.
 //
@@ -42,35 +45,57 @@ var _ Engine = Matrix{}
 // Name implements Engine.
 func (Matrix) Name() string { return "matrix" }
 
-// rowTerm is one summand of a program row, in canonical received order:
-// either a reference to a state-vector column (a fault-free or ghost value,
-// col ≥ 0) or an adversary-injected literal (col == −1).
-type rowTerm struct {
-	col int
-	val float64
+// roundProgram is one round's row-stochastic transition in a flat CSR-style
+// encoding: row i's summands are cols[rowOff[i]:rowOff[i+1]] in canonical
+// received order. An entry ≥ 0 references a state-vector column (a
+// fault-free or ghost value); an entry of −1 consumes the next literal from
+// the consts stream (an adversary-injected value) — the separated col/const
+// streams keep both dense while the shared cols walk preserves the exact
+// per-row term order. weight[i] is a_i. Frozen nodes (faulty with undefined
+// ghost update) have no terms and weight 1, so the row is the identity.
+//
+// The whole program is three contiguous arrays plus the offsets — O(edges)
+// memory with no per-row slice headers — so apply/applyBatch stream it with
+// contiguous loads and the backing capacity survives reset across rounds.
+type roundProgram struct {
+	rowOff []int32
+	cols   []int32
+	consts []float64
+	weight []float64
 }
 
-// roundProgram is one round's row-stochastic transition. terms[i] lists the
-// surviving in-edge summands of node i; weight[i] is a_i. Frozen nodes
-// (faulty with undefined ghost update) have no terms and weight 1, so the
-// row is the identity.
-type roundProgram struct {
-	terms  [][]rowTerm
-	weight []float64
+// reset readies the program for re-recording an n-node round, keeping the
+// backing arrays' capacity.
+func (pr *roundProgram) reset(n int) {
+	pr.rowOff = append(pr.rowOff[:0], 0)
+	pr.cols = pr.cols[:0]
+	pr.consts = pr.consts[:0]
+	if cap(pr.weight) < n {
+		pr.weight = make([]float64, n)
+	}
+	pr.weight = pr.weight[:n]
+}
+
+// endRow seals the current row after its terms were appended.
+func (pr *roundProgram) endRow() {
+	pr.rowOff = append(pr.rowOff, int32(len(pr.cols)))
 }
 
 // apply evaluates dst = M·src with the canonical summation order.
 func (pr *roundProgram) apply(src, dst []float64) {
+	cols, consts, weight, rowOff := pr.cols, pr.consts, pr.weight, pr.rowOff
+	ci := 0
 	for i := range dst {
 		sum := src[i]
-		for _, t := range pr.terms[i] {
-			if t.col >= 0 {
-				sum += src[t.col]
+		for _, c := range cols[rowOff[i]:rowOff[i+1]] {
+			if c >= 0 {
+				sum += src[c]
 			} else {
-				sum += t.val
+				sum += consts[ci]
+				ci++
 			}
 		}
-		dst[i] = pr.weight[i] * sum
+		dst[i] = weight[i] * sum
 	}
 }
 
@@ -78,43 +103,50 @@ func (pr *roundProgram) apply(src, dst []float64) {
 // structure-of-arrays: src[i*K+x] is vector x's value at node i. Each
 // program row is decoded once and applied to all K columns in contiguous
 // inner loops (acc is a caller-owned K-wide accumulator), so the batch pays
-// the sparse row walk once instead of K times and the inner loops vectorize.
-// Per column the floating-point operations and their order are exactly those
-// of apply, so results are bit-identical to K scalar replays.
+// the flat row walk once instead of K times and the K-stride inner loops run
+// over plain contiguous slices of equal length — the shape the compiler
+// turns into branch-free, bounds-check-eliminated code. Per column the
+// floating-point operations and their order are exactly those of apply, so
+// results are bit-identical to K scalar replays.
 func (pr *roundProgram) applyBatch(src, dst []float64, K int, acc []float64) {
-	for i := range pr.weight {
+	cols, consts, weight, rowOff := pr.cols, pr.consts, pr.weight, pr.rowOff
+	acc = acc[:K]
+	ci := 0
+	for i := range weight {
 		base := i * K
 		copy(acc, src[base:base+K])
-		for _, t := range pr.terms[i] {
-			if t.col >= 0 {
-				col := src[t.col*K : t.col*K+K]
+		for _, c := range cols[rowOff[i]:rowOff[i+1]] {
+			if c >= 0 {
+				col := src[int(c)*K : int(c)*K+K]
 				for x := range acc {
 					acc[x] += col[x]
 				}
 			} else {
-				v := t.val
+				v := consts[ci]
+				ci++
 				for x := range acc {
 					acc[x] += v
 				}
 			}
 		}
-		w := pr.weight[i]
+		w := weight[i]
+		out := dst[base : base+K]
 		for x := range acc {
-			dst[base+x] = w * acc[x]
+			out[x] = w * acc[x]
 		}
 	}
 }
 
 // Run implements Engine.
 func (Matrix) Run(cfg Config) (*Trace, error) {
-	tr, _, err := runMatrix(cfg, false)
+	tr, _, err := runMatrix(cfg, false, nil)
 	return tr, err
 }
 
 // newRunner builds the matrix engine's pooled runner for scenario sweeps:
-// the plane, receive buffer, survivor mask, and recorded-program storage are
-// all reused across scenarios, and replay buffers are kept warm for the
-// composed Extras dimension.
+// the plane, receive buffer, survivor mask, and program storage are all
+// reused across scenarios, and the streaming replay buffers are kept warm
+// for the composed Extras dimension.
 func (Matrix) newRunner(g *graph.Graph) ScenarioRunner {
 	return &matrixRunner{g: g, st: newMatrixScratch(g)}
 }
@@ -134,16 +166,19 @@ func (r *matrixRunner) RunScenario(cfg *Config) (*Trace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tr, _, err := runMatrixOn(r.st, cfg, false)
+	tr, _, err := runMatrixOn(r.st, cfg, false, nil)
 	if err != nil {
 		return nil, err
 	}
 	return &tr.Trace, nil
 }
 
-// runBatchScenario records the scenario's round programs, replays them over
-// the extra initial vectors, and recycles the program storage for the next
-// scenario.
+// runBatchScenario streams the scenario's round programs through the extra
+// initial vectors as they are recorded — the program storage is one
+// rebuilt-in-place round, O(edges), regardless of the scenario's round
+// budget. The finals are materialized fresh (not aliased to the pooled
+// replay buffers) because Sweep retains every scenario's finals side by
+// side.
 func (r *matrixRunner) runBatchScenario(cfg *Config, extras [][]float64) (*Trace, [][]float64, error) {
 	if cfg.G != r.g {
 		return nil, nil, errors.New("sim: scenario config graph differs from the runner's graph")
@@ -151,33 +186,33 @@ func (r *matrixRunner) runBatchScenario(cfg *Config, extras [][]float64) (*Trace
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
-	tr, progs, err := runMatrixOn(r.st, cfg, true)
+	var stream replayStream
+	stream.init(&r.bufs, extras, r.g.N())
+	tr, _, err := runMatrixOn(r.st, cfg, false, &stream)
 	if err != nil {
 		return nil, nil, err
 	}
-	finals := replayPrograms(progs, extras, r.g.N(), &r.bufs)
-	r.st.recycle(progs)
-	return &tr.Trace, finals, nil
+	return &tr.Trace, stream.finals(nil), nil
 }
 
 func (r *matrixRunner) Close() {}
 
 // replayBufs holds the structure-of-arrays replay state (cur/nxt ping-pong
-// planes and the K-wide accumulator) so repeated replays do not reallocate.
+// planes, the K-wide accumulator, and the finals storage) so repeated
+// replays do not reallocate.
 type replayBufs struct {
 	cur, nxt, acc []float64
+	// finals/finalsBack are the per-vector result storage replayPrograms
+	// hands back: headers and backing are reused across calls, so results
+	// from one replay are only valid until the next replay through the same
+	// bufs.
+	finals     [][]float64
+	finalsBack []float64
 }
 
-// replayPrograms replays the recorded program sequence over every extra
-// initial vector in SoA layout and returns the per-vector final states,
-// index-aligned with extras. Results are bit-identical to replaying the
-// vectors one at a time (see applyBatch).
-func replayPrograms(progs []*roundProgram, extras [][]float64, n int, bufs *replayBufs) [][]float64 {
-	K := len(extras)
-	finals := make([][]float64, K)
-	if K == 0 {
-		return finals
-	}
+// soa readies the ping-pong planes and accumulator for an n×K replay and
+// returns them, reusing capacity when it suffices.
+func (bufs *replayBufs) soa(n, K int) (cur, nxt, acc []float64) {
 	if cap(bufs.cur) < n*K {
 		bufs.cur = make([]float64, n*K)
 		bufs.nxt = make([]float64, n*K)
@@ -185,8 +220,101 @@ func replayPrograms(progs []*roundProgram, extras [][]float64, n int, bufs *repl
 	if cap(bufs.acc) < K {
 		bufs.acc = make([]float64, K)
 	}
+	return bufs.cur[:n*K], bufs.nxt[:n*K], bufs.acc[:K]
+}
+
+// takeFinals returns a K×n finals matrix backed by the bufs' reusable
+// storage.
+func (bufs *replayBufs) takeFinals(n, K int) [][]float64 {
+	if cap(bufs.finals) < K {
+		bufs.finals = make([][]float64, K)
+	}
+	if cap(bufs.finalsBack) < n*K {
+		bufs.finalsBack = make([]float64, n*K)
+	}
+	finals := bufs.finals[:K]
+	back := bufs.finalsBack[:n*K]
+	for x := range finals {
+		finals[x] = back[x*n : (x+1)*n : (x+1)*n]
+	}
+	return finals
+}
+
+// replayStream is the streaming half of the O(edges) batch replay: the
+// primary loop hands each round's freshly recorded program to step, which
+// pushes it through all K extra vectors before the next round rebuilds the
+// program — no program sequence is ever retained.
+type replayStream struct {
+	K        int
+	n        int
+	cur, nxt []float64 // SoA ping-pong planes, views into a replayBufs
+	acc      []float64
+}
+
+// init carves the SoA planes out of bufs and seeds cur with the transposed
+// extras: cur[i*K+x] = extras[x][i]. A zero-length extras slice leaves the
+// stream inert (step is a no-op).
+func (s *replayStream) init(bufs *replayBufs, extras [][]float64, n int) {
+	s.K = len(extras)
+	s.n = n
+	if s.K == 0 {
+		s.cur, s.nxt, s.acc = nil, nil, nil
+		return
+	}
+	s.cur, s.nxt, s.acc = bufs.soa(n, s.K)
+	for x, init := range extras {
+		for i, v := range init {
+			s.cur[i*s.K+x] = v
+		}
+	}
+}
+
+// step advances all K vectors through one recorded round program. Per
+// column the operations are exactly those of apply (see applyBatch), so the
+// streamed batch is bit-identical to retaining the program sequence and
+// replaying it afterwards.
+func (s *replayStream) step(pr *roundProgram) {
+	if s.K == 0 {
+		return
+	}
+	pr.applyBatch(s.cur, s.nxt, s.K, s.acc)
+	s.cur, s.nxt = s.nxt, s.cur
+}
+
+// finals transposes the streamed SoA state back into per-vector final
+// slices, index-aligned with the init extras. With dst == nil the finals
+// are freshly allocated (safe to retain — the stream's buffers are reused);
+// otherwise they are written into dst[:K].
+func (s *replayStream) finals(dst [][]float64) [][]float64 {
+	if dst == nil {
+		dst = make([][]float64, s.K)
+	}
+	dst = dst[:s.K]
+	for x := range dst {
+		if dst[x] == nil {
+			dst[x] = make([]float64, s.n)
+		}
+		for i := range dst[x] {
+			dst[x][i] = s.cur[i*s.K+x]
+		}
+	}
+	return dst
+}
+
+// replayPrograms replays a retained program sequence over every extra
+// initial vector in SoA layout and returns the per-vector final states,
+// index-aligned with extras. Results are bit-identical to replaying the
+// vectors one at a time (see applyBatch). The returned finals are backed by
+// bufs-owned storage — allocation-free once the bufs are warm — and remain
+// valid only until the next replay through the same bufs; copy them out to
+// retain them longer.
+func replayPrograms(progs []*roundProgram, extras [][]float64, n int, bufs *replayBufs) [][]float64 {
+	K := len(extras)
+	if K == 0 {
+		return bufs.finals[:0:0]
+	}
+	cur, nxt, acc := bufs.soa(n, K)
 	// Transpose extras into SoA: cur[i*K+x] = extras[x][i].
-	cur, nxt, acc := bufs.cur[:n*K], bufs.nxt[:n*K], bufs.acc[:K]
 	for x, init := range extras {
 		for i, v := range init {
 			cur[i*K+x] = v
@@ -196,47 +324,73 @@ func replayPrograms(progs []*roundProgram, extras [][]float64, n int, bufs *repl
 		pr.applyBatch(cur, nxt, K, acc)
 		cur, nxt = nxt, cur
 	}
+	finals := bufs.takeFinals(n, K)
 	for x := range finals {
-		final := make([]float64, n)
+		final := finals[x]
 		for i := range final {
 			final[i] = cur[i*K+x]
 		}
-		finals[x] = final
 	}
 	return finals
 }
 
-// RunBatch executes cfg once (the primary run), recording each round's
-// transition program, then replays the same program sequence over every
-// extra initial vector. It returns the primary trace and, index-aligned
-// with extras, each extra vector's final state. Extra vectors must have
-// length cfg.G.N().
-//
-// Replay cost is O(rounds · edges) for the whole batch-row walk plus
-// O(rounds · edges · K) flops with no trimming, no sorting, and no
-// adversary calls — the amortization that makes wide multi-scenario sweeps
-// cheap. The batch is laid out structure-of-arrays (see applyBatch) so each
-// recorded program row streams over all K vectors in one pass; results are
-// bit-identical to replaying the vectors one at a time. The recording
-// retains every executed round's program, O(rounds · edges) memory for the
-// primary run: cap MaxRounds (or rely on the Epsilon stop) accordingly on
-// large graphs.
-func (Matrix) RunBatch(cfg Config, extras [][]float64) (*Trace, [][]float64, error) {
+// validateExtras bounds-checks the extra initial vectors against the
+// config's graph.
+func validateExtras(cfg *Config, extras [][]float64) error {
 	if cfg.G == nil {
-		return nil, nil, errors.New("sim: nil graph")
+		return errors.New("sim: nil graph")
 	}
 	n := cfg.G.N()
 	for x, init := range extras {
 		if len(init) != n {
-			return nil, nil, fmt.Errorf("sim: extra initial %d has length %d, want n = %d", x, len(init), n)
+			return fmt.Errorf("sim: extra initial %d has length %d, want n = %d", x, len(init), n)
 		}
 	}
-	tr, progs, err := runMatrix(cfg, true)
-	if err != nil {
+	return nil
+}
+
+// RunBatch executes cfg once (the primary run), streaming each round's
+// transition program through every extra initial vector as it is recorded.
+// It returns the primary trace and, index-aligned with extras, each extra
+// vector's final state. Extra vectors must have length cfg.G.N().
+//
+// Replay cost is O(rounds · edges) time for the batch-row walk plus
+// O(rounds · edges · K) flops with no trimming, no sorting, and no
+// adversary calls — the amortization that makes wide multi-scenario sweeps
+// cheap. The batch is laid out structure-of-arrays (see applyBatch) so each
+// recorded program row streams over all K vectors in one pass; results are
+// bit-identical to replaying the vectors one at a time. Program memory is
+// O(edges) — one flat program rebuilt in place per round — independent of
+// the round count, so arbitrarily long runs and large K compose freely.
+func (Matrix) RunBatch(cfg Config, extras [][]float64) (*Trace, [][]float64, error) {
+	if err := validateExtras(&cfg, extras); err != nil {
 		return nil, nil, err
 	}
 	var bufs replayBufs
-	return tr, replayPrograms(progs, extras, n, &bufs), nil
+	var stream replayStream
+	stream.init(&bufs, extras, cfg.G.N())
+	tr, _, err := runMatrix(cfg, false, &stream)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, stream.finals(nil), nil
+}
+
+// runBatchRetained is the record-then-replay reference implementation of
+// RunBatch: it retains every executed round's program — O(rounds · edges)
+// memory — and replays the whole sequence afterwards through
+// replayPrograms. The streaming production path is pinned bit-identical to
+// it by the conformance suite (TestStreamingReplayMatchesRetainedReference);
+// it is not used outside tests.
+func runBatchRetained(cfg Config, extras [][]float64, bufs *replayBufs) (*Trace, [][]float64, error) {
+	if err := validateExtras(&cfg, extras); err != nil {
+		return nil, nil, err
+	}
+	tr, progs, err := runMatrix(cfg, true, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, replayPrograms(progs, extras, cfg.G.N(), bufs), nil
 }
 
 // matrixScratch bundles the reusable per-graph state behind matrix runs: the
@@ -263,7 +417,7 @@ func newMatrixScratch(g *graph.Graph) *matrixScratch {
 	}
 }
 
-// takeProgram hands out a program, preferring the free list so term-slice
+// takeProgram hands out a program, preferring the free list so flat-array
 // capacity survives across rounds and scenarios.
 func (st *matrixScratch) takeProgram() *roundProgram {
 	if k := len(st.pool); k > 0 {
@@ -271,8 +425,7 @@ func (st *matrixScratch) takeProgram() *roundProgram {
 		st.pool = st.pool[:k-1]
 		return pr
 	}
-	n := st.p.n
-	return &roundProgram{terms: make([][]rowTerm, n), weight: make([]float64, n)}
+	return &roundProgram{}
 }
 
 // recycle returns recorded programs to the free list once their replay is
@@ -282,11 +435,11 @@ func (st *matrixScratch) recycle(progs []*roundProgram) {
 }
 
 // runMatrix is the single-run entry: validate, build fresh scratch, run.
-func runMatrix(cfg Config, keep bool) (*Trace, []*roundProgram, error) {
+func runMatrix(cfg Config, keep bool, stream *replayStream) (*Trace, []*roundProgram, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
-	tr, progs, err := runMatrixOn(newMatrixScratch(cfg.G), &cfg, keep)
+	tr, progs, err := runMatrixOn(newMatrixScratch(cfg.G), &cfg, keep, stream)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -294,11 +447,15 @@ func runMatrix(cfg Config, keep bool) (*Trace, []*roundProgram, error) {
 }
 
 // runMatrixOn is the shared primary loop over reusable scratch state. When
-// keep is true every round's program is retained (and returned) for replay;
-// otherwise a single program is rebuilt in place each round to keep the run
+// stream is non-nil every round's freshly recorded program is additionally
+// pushed through the stream's extra vectors before the next round rebuilds
+// it — the O(edges)-memory streaming replay. When keep is true every
+// round's program is retained (and returned) instead — the
+// O(rounds · edges) reference used by runBatchRetained and its tests.
+// Otherwise a single program is rebuilt in place each round to keep the run
 // allocation-light. The config must already be validated and its graph must
 // match the scratch's.
-func runMatrixOn(st *matrixScratch, cfg *Config, keep bool) (*tracer, []*roundProgram, error) {
+func runMatrixOn(st *matrixScratch, cfg *Config, keep bool, stream *replayStream) (*tracer, []*roundProgram, error) {
 	var trimF int // f used for trimming; -1 marks the Mean rule
 	switch cfg.Rule.(type) {
 	case core.TrimmedMean:
@@ -344,8 +501,8 @@ func runMatrixOn(st *matrixScratch, cfg *Config, keep bool) (*tracer, []*roundPr
 			progs = append(progs, pr)
 			return pr
 		}
-		// The program is applied before the next round rebuilds it, so one
-		// rebuilt-in-place program suffices.
+		// The program is applied (and streamed) before the next round
+		// rebuilds it, so one rebuilt-in-place program suffices.
 		if spare == nil {
 			spare = st.takeProgram()
 		}
@@ -363,11 +520,12 @@ func runMatrixOn(st *matrixScratch, cfg *Config, keep bool) (*tracer, []*roundPr
 			p.applyAdversary(cfg.Adversary, ew, roundView(cfg, round, states, faultFree, faulty))
 		}
 		pr := newProgram()
+		pr.reset(n)
 		for i := 0; i < n; i++ {
 			lo, hi := p.inOff[i], p.inOff[i+1]
 			if frozen[i] {
-				pr.terms[i] = pr.terms[i][:0]
 				pr.weight[i] = 1
+				pr.endRow()
 				continue
 			}
 			buf := recv[lo:hi]
@@ -386,22 +544,25 @@ func runMatrixOn(st *matrixScratch, cfg *Config, keep bool) (*tracer, []*roundPr
 				}
 				pr.weight[i] = 1 / float64(len(buf)+1)
 			}
-			terms := pr.terms[i][:0]
 			for k := range buf {
 				if !row[k] {
 					continue
 				}
 				if p.fromState[lo+k] {
-					terms = append(terms, rowTerm{col: buf[k].From})
+					pr.cols = append(pr.cols, int32(buf[k].From))
 				} else {
-					terms = append(terms, rowTerm{col: -1, val: buf[k].Value})
+					pr.cols = append(pr.cols, -1)
+					pr.consts = append(pr.consts, buf[k].Value)
 				}
 			}
-			pr.terms[i] = terms
+			pr.endRow()
 		}
 
 		pr.apply(states, next)
 		states, next = next, states
+		if stream != nil {
+			stream.step(pr)
+		}
 
 		if done := tr.record(cfg, round, states, faultFree); done {
 			break
