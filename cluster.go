@@ -68,6 +68,23 @@ func NewChaosTransport(inner Transport, cfg ChaosConfig) *ChaosTransport {
 	return transport.NewChaos(inner, cfg)
 }
 
+// TCPTransport is the wire Transport: one long-lived TCP connection per
+// out-link with lazy dial, reconnect under capped exponential backoff, and
+// length-prefixed binary framing. Backpressure propagates end to end: full
+// receive queues stop the reader, TCP flow control stops the sender. It
+// hosts Recv streams only for its local nodes — the building block of a
+// cross-process cluster (one instance per process, `iabc serve`).
+type TCPTransport = transport.TCP
+
+// TCPTransportConfig maps node ids to addresses and selects which of them
+// this instance hosts. See the internal/transport documentation for the
+// queue, backoff, and socket knobs.
+type TCPTransportConfig = transport.TCPConfig
+
+// NewTCPTransport returns a wire transport listening for its local nodes'
+// traffic and dialing peers on demand.
+func NewTCPTransport(cfg TCPTransportConfig) (*TCPTransport, error) { return transport.NewTCP(cfg) }
+
 // ErrLinkDown is the retryable send error: the (from, to) link is inside an
 // active partition or crash window and may heal.
 var ErrLinkDown = transport.ErrLinkDown
@@ -120,13 +137,33 @@ func Cluster(ctx context.Context, g *Graph, opts ...Option) (*ClusterResult, err
 	if c.transport != nil && c.hasChaos {
 		return nil, fmt.Errorf("iabc: WithTransport and WithChaos are mutually exclusive; wrap the transport with NewChaosTransport instead")
 	}
+	if c.transport != nil && c.tcp != nil {
+		return nil, fmt.Errorf("iabc: WithTransport and WithTCPTransport are mutually exclusive")
+	}
 	faulty, err := c.faultySet(g.N())
 	if err != nil {
 		return nil, err
 	}
 	tr := c.transport
 	if tr == nil {
-		owned := Transport(NewInprocTransport(g.N(), 0))
+		var owned Transport
+		if c.tcp != nil {
+			if len(c.tcp.Addrs) != g.N() {
+				return nil, fmt.Errorf("iabc: WithTCPTransport has %d addresses for a %d-node graph",
+					len(c.tcp.Addrs), g.N())
+			}
+			tcpCfg := *c.tcp
+			if len(tcpCfg.Local) == 0 {
+				tcpCfg.Local = c.localNodes
+			}
+			wire, err := NewTCPTransport(tcpCfg)
+			if err != nil {
+				return nil, err
+			}
+			owned = wire
+		} else {
+			owned = NewInprocTransport(g.N(), 0)
+		}
 		if c.hasChaos {
 			owned = NewChaosTransport(owned, c.chaos)
 		}
@@ -147,6 +184,8 @@ func Cluster(ctx context.Context, g *Graph, opts ...Option) (*ClusterResult, err
 		SendTimeout: c.sendTimeout,
 		StallAfter:  c.stallAfter,
 		Crashes:     c.chaos.Crashes,
+		Local:       c.localNodes,
+		Linger:      c.linger,
 	}
 	if obs := c.observer; obs != nil {
 		cfg.OnUpdate = func(nd, round int, value, rng float64) {

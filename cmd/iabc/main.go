@@ -8,9 +8,18 @@
 //	iabc check      -topo <spec> -f <faults> [-async]
 //	iabc maxf       -topo <spec>
 //	iabc run        -topo <spec> -f <faults> [-faulty 0,1] [-adversary name]
-//	                [-rounds N] [-eps E] [-engine sequential|concurrent]
+//	                [-rounds N] [-eps E] [-engine sequential|concurrent] [-finals]
+//	iabc cluster    -topo <spec> [-drop P] [-dup P] [-delay D] [-stall D]
+//	iabc serve      -topo <spec> -id <ids> -peers <file> [-rounds N] [-seed S]
+//	                [-stall D] [-linger D]
 //	iabc topo       -topo <spec> [-format edgelist|dot]
 //	iabc experiments
+//
+// serve runs one process's share of a cross-process cluster over TCP: every
+// process is started with the same -topo and -seed (they derive the same
+// initial vector), its own -id list, and a shared peers file mapping each
+// node id to host:port ("id host:port" lines, '#' comments). Finals print
+// as hex floats so bit-identity with `iabc run -finals` is a text diff.
 //
 // Topology specs:
 //

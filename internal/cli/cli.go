@@ -12,6 +12,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 
 	"iabc"
@@ -25,6 +26,7 @@ Commands:
   maxf         largest f the topology tolerates
   run          simulate Algorithm 1 under a Byzantine adversary
   cluster      run the live actor cluster, optionally under network chaos
+  serve        run this process's nodes of a cross-process TCP cluster
   repair       add edges until the topology satisfies the condition
   sweep        family sweep (rounds-to-ε vs n) as CSV
   topo         emit the topology (edge list or DOT)
@@ -55,6 +57,8 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdRun(rest, stdin, stdout)
 	case "cluster":
 		err = cmdCluster(rest, stdin, stdout)
+	case "serve":
+		err = cmdServe(rest, stdin, stdout)
 	case "repair":
 		err = cmdRepair(rest, stdin, stdout)
 	case "sweep":
@@ -199,6 +203,7 @@ func cmdRun(args []string, stdin io.Reader, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed for randomized pieces")
 	every := fs.Int("trace-every", 0, "print U, µ every k rounds (0 = summary only)")
 	csvPath := fs.String("csv", "", "write the round-by-round trace as CSV to this file")
+	finals := fs.Bool("finals", false, "print per-node finals as hex floats — the bit-exact oracle the multi-process gate diffs `iabc serve` output against")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -263,6 +268,13 @@ func cmdRun(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "round %6d  U=%.8f  µ=%.8f  range=%.3e\n",
 				r, tr.U[r], tr.Mu[r], tr.Range(r))
 		}
+	}
+	if *finals {
+		faultFree := iabc.SetOf(n, ids...).Complement()
+		faultFree.ForEach(func(i int) bool {
+			fmt.Fprintf(stdout, "final %d %s\n", i, strconv.FormatFloat(out.Final[i], 'x', -1, 64))
+			return true
+		})
 	}
 	fmt.Fprintf(stdout, "rounds: %d  converged: %v  final range: %.3e\n",
 		out.Rounds, out.Converged, out.FinalRange)

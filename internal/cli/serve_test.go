@@ -1,0 +1,134 @@
+package cli
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// freePort reserves an ephemeral loopback port and releases it for the test
+// to reuse. The close-then-rebind window is a real race, but ephemeral-port
+// reuse on loopback in a fresh test process makes collisions vanishingly
+// rare — and a collision fails loudly, not silently.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// writePeers writes a peers file mapping each node id to addrs[id].
+func writePeers(t *testing.T, addrs []string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("# node address\n")
+	for id, a := range addrs {
+		fmt.Fprintf(&b, "%d %s\n", id, a)
+	}
+	path := filepath.Join(t.TempDir(), "peers.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// finalsOf extracts sorted "final <id> <hex>" lines from command output.
+func finalsOf(out string) []string {
+	var finals []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "final ") {
+			finals = append(finals, line)
+		}
+	}
+	sort.Strings(finals)
+	return finals
+}
+
+// TestServeAllLocalMatchesRunOracle hosts every node of the cluster in one
+// serve process — still over real loopback sockets — and requires its hex
+// finals to be bit-identical to the sequential simulator's (`run -finals`):
+// the single-process corner of the cross-process conformance gate.
+func TestServeAllLocalMatchesRunOracle(t *testing.T) {
+	code, oracleOut, stderr := run(t, "", "run",
+		"-topo", "complete:4", "-f", "0", "-eps", "0", "-rounds", "15", "-seed", "11", "-finals")
+	if code != 0 {
+		t.Fatalf("oracle exit = %d: %s", code, stderr)
+	}
+	want := finalsOf(oracleOut)
+	if len(want) != 4 {
+		t.Fatalf("oracle printed %d finals, want 4: %q", len(want), oracleOut)
+	}
+
+	addr := freePort(t)
+	peers := writePeers(t, []string{addr, addr, addr, addr})
+	code, serveOut, stderr := run(t, "", "serve",
+		"-topo", "complete:4", "-id", "0,1,2,3", "-peers", peers,
+		"-f", "0", "-rounds", "15", "-seed", "11", "-stall", "10s", "-linger", "0s")
+	if code != 0 {
+		t.Fatalf("serve exit = %d: %s%s", code, serveOut, stderr)
+	}
+	got := finalsOf(serveOut)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("serve finals differ from oracle:\nserve:\n%s\noracle:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	if !strings.Contains(serveOut, "verdict: max rounds") {
+		t.Errorf("verdict line missing or wrong: %q", serveOut)
+	}
+	if !strings.Contains(serveOut, "validity: held") {
+		t.Errorf("validity line missing: %q", serveOut)
+	}
+}
+
+func TestServePeersFileErrors(t *testing.T) {
+	addr := freePort(t)
+	cases := map[string]string{
+		"missing-node":  "0 " + addr + "\n1 " + addr + "\n", // complete:3 needs node 2
+		"bad-id":        "zero " + addr + "\n1 " + addr + "\n2 " + addr + "\n",
+		"duplicate":     "0 " + addr + "\n0 " + addr + "\n2 " + addr + "\n",
+		"excess-fields": "0 " + addr + " extra\n1 " + addr + "\n2 " + addr + "\n",
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "peers.txt")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			code, _, stderr := run(t, "", "serve",
+				"-topo", "complete:3", "-id", "0", "-peers", path, "-rounds", "2")
+			if code != 1 {
+				t.Errorf("exit = %d, want 1 (stderr %q)", code, stderr)
+			}
+		})
+	}
+	t.Run("no-peers-flag", func(t *testing.T) {
+		code, _, stderr := run(t, "", "serve", "-topo", "complete:3", "-id", "0")
+		if code != 1 || !strings.Contains(stderr, "-peers") {
+			t.Errorf("exit = %d, stderr = %q", code, stderr)
+		}
+	})
+	t.Run("no-id-flag", func(t *testing.T) {
+		path := writePeers(t, []string{addr, addr, addr})
+		code, _, stderr := run(t, "", "serve", "-topo", "complete:3", "-peers", path)
+		if code != 1 || !strings.Contains(stderr, "-id") {
+			t.Errorf("exit = %d, stderr = %q", code, stderr)
+		}
+	})
+	t.Run("split-local-addresses", func(t *testing.T) {
+		other := freePort(t)
+		path := writePeers(t, []string{addr, other, addr})
+		code, _, stderr := run(t, "", "serve",
+			"-topo", "complete:3", "-id", "0,1", "-peers", path, "-rounds", "2")
+		if code != 1 || !strings.Contains(stderr, "one listener") {
+			t.Errorf("exit = %d, stderr = %q", code, stderr)
+		}
+	})
+}

@@ -159,6 +159,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	n := cfg.G.N()
 	faulty := cfg.faulty()
 	faultFree := faulty.Complement()
+	// The nodes this process animates: everything by default, cfg.Local's
+	// share in a cross-process deployment.
+	local := nodeset.Universe(n)
+	if len(cfg.Local) > 0 {
+		local = nodeset.FromMembers(n, cfg.Local...)
+	}
+	localFaultFree := faultFree.Intersect(local)
 
 	r := &runner{
 		cfg:       cfg,
@@ -174,10 +181,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	r.edgeWriter, _ = cfg.Adversary.(adversary.EdgeWriter)
 	lo, hi := faultFreeRange(r.states, faultFree)
 
-	// Crash schedules per fault-free node, ordered by window start.
+	// Crash schedules per local fault-free node, ordered by window start.
 	crashByNode := make(map[int][]transport.Crash)
 	for _, cr := range cfg.Crashes {
-		if faultFree.Contains(cr.Node) {
+		if localFaultFree.Contains(cr.Node) {
 			crashByNode[cr.Node] = append(crashByNode[cr.Node], cr)
 		}
 	}
@@ -189,7 +196,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	defer cancel()
 
 	var wg sync.WaitGroup
-	faultFree.ForEach(func(i int) bool {
+	localFaultFree.ForEach(func(i int) bool {
 		a := newActor(i, r)
 		wg.Add(1)
 		go func() {
@@ -198,7 +205,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}()
 		return true
 	})
-	faulty.ForEach(func(s int) bool {
+	faulty.Intersect(local).ForEach(func(s int) bool {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -229,9 +236,41 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return rng
 	}
 
-	target := faultFree.Count()
+	target := localFaultFree.Count()
 	atMax := 0
 	var runErr error
+	var lingerTimer *time.Timer
+	var lingerC <-chan time.Time
+	finishing := false
+	// finish ends the run's local work: liveness judging stops (no further
+	// local progress is owed), and the actors either exit now or linger —
+	// still draining deliveries and serving history resends — so remote
+	// laggards in a cross-process deployment can finish before this
+	// process's exit starts looking like a crash to them.
+	finish := func() {
+		if finishing {
+			return
+		}
+		finishing = true
+		if stallTimer != nil {
+			stallTimer.Stop()
+			stallC = nil
+		}
+		if cfg.Linger > 0 {
+			lingerTimer = time.NewTimer(cfg.Linger)
+			lingerC = lingerTimer.C
+			return
+		}
+		cancel()
+	}
+	defer func() {
+		if lingerTimer != nil {
+			lingerTimer.Stop()
+		}
+	}()
+	if target == 0 {
+		finish() // no local fault-free work: run is just linger + faulty emitters
+	}
 loop:
 	for {
 		select {
@@ -242,11 +281,11 @@ loop:
 			}
 			if cfg.Epsilon > 0 && rng <= cfg.Epsilon {
 				res.Converged = true
-				cancel()
+				finish()
 			} else if atMax == target {
-				cancel()
+				finish()
 			}
-			if stallTimer != nil {
+			if stallTimer != nil && !finishing {
 				if !stallTimer.Stop() {
 					select {
 					case <-stallTimer.C:
@@ -260,6 +299,8 @@ loop:
 			cancel()
 		case <-stallC:
 			res.Stalled = true
+			cancel()
+		case <-lingerC:
 			cancel()
 		case <-done:
 			break loop

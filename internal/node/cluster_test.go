@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -323,6 +324,68 @@ func TestClusterValidateErrors(t *testing.T) {
 		mutate(&cfg)
 		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("%s: Run accepted invalid config", name)
+		}
+	}
+}
+
+// TestClusterLocalSplitConformsToAsync runs one logical cluster as two
+// concurrent Run calls over a shared transport, each animating half the
+// nodes via Config.Local — the in-process model of a cross-process
+// deployment. At f = 0 over loss-free delivery the combined finals must
+// still be bit-identical to the discrete-event oracle, and each half must
+// stop on its *local* MaxRounds completion. A small Linger keeps each
+// half's actors serving resends after it finishes, exactly as `iabc serve`
+// processes do so a finished process doesn't look crashed to laggards.
+func TestClusterLocalSplitConformsToAsync(t *testing.T) {
+	g, err := topology.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := []float64{3, 1, 4, 1.5, 9.2, 6}
+	const maxRounds = 20
+
+	want, err := async.Run(context.Background(), async.Config{
+		G: g, Initial: initial, Rule: core.TrimmedMean{},
+		Delays: async.Fixed{D: 1}, MaxRounds: maxRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := transport.NewInproc(g.N(), 256)
+	defer tr.Close()
+	halves := [][]int{{0, 1, 2}, {3, 4, 5}}
+	results := make([]*Result, len(halves))
+	errs := make([]error, len(halves))
+	var wg sync.WaitGroup
+	for h, local := range halves {
+		h, local := h, local
+		cfg := clusterDefaults(tr)
+		cfg.G, cfg.Initial, cfg.MaxRounds = g, initial, maxRounds
+		cfg.Local, cfg.Linger = local, 20*time.Millisecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[h], errs[h] = Run(context.Background(), cfg)
+		}()
+	}
+	wg.Wait()
+	for h, err := range errs {
+		if err != nil {
+			t.Fatalf("half %d: %v", h, err)
+		}
+	}
+	for h, local := range halves {
+		for _, i := range local {
+			if results[h].Rounds[i] != maxRounds {
+				t.Errorf("node %d stopped at round %d, want %d", i, results[h].Rounds[i], maxRounds)
+			}
+			if math.Float64bits(results[h].Final[i]) != math.Float64bits(want.Final[i]) {
+				t.Errorf("node %d: split cluster %v != async %v", i, results[h].Final[i], want.Final[i])
+			}
+		}
+		if got := results[h].Updates; got != int64(len(local)*maxRounds) {
+			t.Errorf("half %d: Updates = %d, want %d (local nodes only)", h, got, len(local)*maxRounds)
 		}
 	}
 }

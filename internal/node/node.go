@@ -121,6 +121,23 @@ type Config struct {
 	// the node down). Windows are measured from Run's start. Crashes of
 	// faulty nodes are ignored — the adversary is not supervised.
 	Crashes []transport.Crash
+	// Local, when non-empty, restricts the actors this Run spawns to the
+	// listed node ids — this process's share of a cross-process deployment
+	// over a wire transport that Recv-hosts only those nodes. Remote nodes
+	// still exist in G and Initial; they are simply driven by other
+	// processes. With Local a strict subset, the stop conditions become
+	// local: MaxRounds completion counts local fault-free nodes only, and
+	// the Epsilon/OnUpdate range treats remote nodes as frozen at their
+	// Initial values (conservative — it can only overestimate the true
+	// range at f = 0), so cross-process runs should stop on MaxRounds and
+	// judge convergence over the collected finals. Empty means all nodes.
+	Local []int
+	// Linger, when > 0, keeps local actors alive this long after the local
+	// stop condition fires. Actors at MaxRounds still serve stall-triggered
+	// history resends, so lingering is what lets remote laggards finish
+	// when this process's nodes are already done; without it a finished
+	// process's exit looks like a crash to the rest of the cluster.
+	Linger time.Duration
 	// QuorumOverride, when non-nil, replaces the |N⁻_i| − F quorum count
 	// for node i. Tests use it to force pathological quorums; leave nil.
 	QuorumOverride func(i int) int
@@ -180,6 +197,11 @@ func (c *Config) Validate() error {
 	for _, cr := range c.Crashes {
 		if cr.Node < 0 || cr.Node >= n {
 			return fmt.Errorf("node: crash of node %d outside [0,%d)", cr.Node, n)
+		}
+	}
+	for _, i := range c.Local {
+		if i < 0 || i >= n {
+			return fmt.Errorf("node: local node %d outside [0,%d)", i, n)
 		}
 	}
 	var err error

@@ -1,0 +1,62 @@
+package transport_test
+
+// The four transport stacks the cluster can actually run on — Inproc,
+// Chaos(Inproc), TCP, Chaos(TCP) — all held to the one executable contract
+// in transporttest. The chaos wrappers run with a benign (fault-free)
+// configuration here: the battery pins that wrapping alone cannot bend the
+// contract, while the fault-injection behaviors have their own tests in
+// chaos_test.go.
+
+import (
+	"testing"
+	"time"
+
+	"iabc/internal/transport"
+	"iabc/internal/transport/transporttest"
+)
+
+func inprocFactory(t *testing.T, n, queueCap int) transport.Transport {
+	return transport.NewInproc(n, queueCap)
+}
+
+// tcpFactory hosts all n nodes on one loopback listener: every Send still
+// crosses a real socket (the instance dials itself), so framing, accept,
+// read-side enqueue, and write-side backpressure are all on the wire path.
+// Tiny socket buffers make backpressure engage after a handful of frames
+// instead of after megabytes.
+func tcpFactory(t *testing.T, n, queueCap int) transport.Transport {
+	t.Helper()
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Addrs:       make([]string, n), // empty entries resolve to this instance
+		Listen:      "127.0.0.1:0",
+		QueueCap:    queueCap,
+		DialBackoff: time.Millisecond,
+		SockBuf:     4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func chaosOver(inner transporttest.Factory) transporttest.Factory {
+	return func(t *testing.T, n, queueCap int) transport.Transport {
+		return transport.NewChaos(inner(t, n, queueCap), transport.ChaosConfig{Seed: 1})
+	}
+}
+
+func TestTransportConformance(t *testing.T) {
+	stacks := []struct {
+		name    string
+		factory transporttest.Factory
+	}{
+		{"inproc", inprocFactory},
+		{"chaos-inproc", chaosOver(inprocFactory)},
+		{"tcp", tcpFactory},
+		{"chaos-tcp", chaosOver(tcpFactory)},
+	}
+	for _, s := range stacks {
+		s := s
+		t.Run(s.name, func(t *testing.T) { transporttest.Run(t, s.factory) })
+	}
+}

@@ -1,0 +1,273 @@
+package transport_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"iabc/internal/transport"
+)
+
+// listenLoopback reserves a loopback port race-free by handing the bound
+// listener to the transport (TCPConfig.Listener).
+func listenLoopback(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// twoInstances builds a 2-node cluster as two TCP instances on loopback:
+// instance 0 hosts node 0, instance 1 hosts node 1.
+func twoInstances(t *testing.T) (*transport.TCP, *transport.TCP) {
+	t.Helper()
+	ln0, ln1 := listenLoopback(t), listenLoopback(t)
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	a, err := transport.NewTCP(transport.TCPConfig{
+		Addrs: addrs, Local: []int{0}, Listener: ln0, DialBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := transport.NewTCP(transport.TCPConfig{
+		Addrs: addrs, Local: []int{1}, Listener: ln1, DialBackoff: time.Millisecond,
+	})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestTCPDeliversAcrossInstances(t *testing.T) {
+	a, b := twoInstances(t)
+	defer a.Close()
+	defer b.Close()
+	ctx := context.Background()
+	if err := a.Send(ctx, 0, 1, transport.Msg{Round: 2, Value: 1.5, Seq: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(ctx, 1, 0, transport.Msg{Round: 3, Value: -4, Seq: 11}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-b.Recv(1):
+		want := transport.Delivery{From: 0, To: 1, Msg: transport.Msg{Round: 2, Value: 1.5, Seq: 10}}
+		if d != want {
+			t.Fatalf("delivery = %+v, want %+v", d, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery at instance b")
+	}
+	select {
+	case d := <-a.Recv(0):
+		want := transport.Delivery{From: 1, To: 0, Msg: transport.Msg{Round: 3, Value: -4, Seq: 11}}
+		if d != want {
+			t.Fatalf("delivery = %+v, want %+v", d, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery at instance a")
+	}
+	// A remote node's stream does not exist on this instance.
+	if a.Recv(1) != nil || b.Recv(0) != nil {
+		t.Fatal("Recv of a remote node must return nil")
+	}
+}
+
+// TestTCPPeerDeathParksSenderThenCancelDrains is the cluster-facing
+// robustness contract (mirroring TestClusterCancellationFacade one layer
+// down): kill the peer mid-round, and the sender must park in reconnect
+// backoff — not return instantly, not spin — until its ctx is canceled,
+// then unwind cleanly with ctx.Err() and zero leaked goroutines.
+func TestTCPPeerDeathParksSenderThenCancelDrains(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a, b := twoInstances(t)
+	defer a.Close()
+
+	ctx := context.Background()
+	if err := a.Send(ctx, 0, 1, transport.Msg{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv(1):
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery before the kill")
+	}
+	// Kill the peer: its listener and accepted conns all go away.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The established connection is dead; sends now fail fast (broken
+	// pipe) or park dialing a refused port. Drive Sends until one parks:
+	// it must still be blocked after a generous window, proving the
+	// backoff loop is holding it rather than hot-spinning errors.
+	sctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		for seq := uint64(2); ; seq++ {
+			err := a.Send(sctx, 0, 1, transport.Msg{Seq: seq})
+			if err == nil {
+				continue // a buffered write may still "succeed" before the reset lands
+			}
+			if sctx.Err() != nil {
+				errc <- err
+				return
+			}
+			// A fast failure (write error on the dead conn): the next
+			// Send enters the redial path and parks.
+		}
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("sender returned %v before cancel — never parked in reconnect backoff", err)
+	case <-time.After(300 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parked send after cancel: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not drain the parked sender")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after peer death + cancel: %d vs base %d",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTCPReconnectAfterPeerRestart pins the reconnect half of the link
+// contract: when a dead peer comes back on the same address, a retrying
+// sender reestablishes the connection and traffic flows again — no
+// transport restart required.
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	a, b := twoInstances(t)
+	defer a.Close()
+	addr := b.Addr()
+
+	ctx := context.Background()
+	if err := a.Send(ctx, 0, 1, transport.Msg{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Recv(1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the peer on the same address (rebinding can race another
+	// process grabbing the port; skip rather than flake if it does).
+	addrs := []string{"", addr}
+	b2, err := transport.NewTCP(transport.TCPConfig{
+		Addrs: addrs, Local: []int{1}, Listen: addr, DialBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Skipf("rebinding %s: %v", addr, err)
+	}
+	defer b2.Close()
+
+	// Retry sends until one is actually delivered at the restarted peer. A
+	// Send can return nil yet deliver nothing — a buffered write on the old
+	// dead connection "succeeds" until the RST lands — so success is a
+	// delivery, not a nil error.
+	deadline := time.Now().Add(10 * time.Second)
+	for seq := uint64(2); ; seq++ {
+		sctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+		err := a.Send(sctx, 0, 1, transport.Msg{Seq: seq})
+		cancel()
+		if err == nil {
+			select {
+			case d := <-b2.Recv(1):
+				if d.From != 0 || d.To != 1 {
+					t.Fatalf("delivery after restart traveled %d -> %d", d.From, d.To)
+				}
+				return
+			case <-time.After(200 * time.Millisecond):
+				// Accepted but not delivered: the write died on the old
+				// conn. Keep going — the next failure tears the conn down
+				// and the redial path takes over.
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sender never reconnected to the restarted peer (last err: %v)", err)
+		}
+	}
+}
+
+func TestTCPBoundsAndConfigValidation(t *testing.T) {
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Addrs: []string{"", ""}, Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for _, link := range [][2]int{{-1, 0}, {0, 2}, {5, -3}} {
+		if err := tr.Send(context.Background(), link[0], link[1], transport.Msg{}); err == nil {
+			t.Fatalf("send %d -> %d accepted", link[0], link[1])
+		}
+	}
+	if _, err := transport.NewTCP(transport.TCPConfig{}); err == nil {
+		t.Fatal("empty address map accepted")
+	}
+	if _, err := transport.NewTCP(transport.TCPConfig{
+		Addrs: []string{"127.0.0.1:1"}, Local: []int{3},
+	}); err == nil {
+		t.Fatal("out-of-range local node accepted")
+	}
+}
+
+// TestTCPMisroutedFramesDropped sends a frame addressed to a node the
+// receiving instance does not host: the instance must drop it and keep the
+// stream alive for well-formed traffic behind it.
+func TestTCPMisroutedFramesDropped(t *testing.T) {
+	ln := listenLoopback(t)
+	addr := ln.Addr().String()
+	// Node 2's address also points at b, which hosts only node 1: frames
+	// for node 2 arrive at b and must be dropped.
+	addrs := []string{"", addr, addr}
+	a, err := transport.NewTCP(transport.TCPConfig{
+		Addrs: addrs, Local: []int{0}, Listen: "127.0.0.1:0", DialBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := transport.NewTCP(transport.TCPConfig{
+		Addrs: addrs, Local: []int{1}, Listener: ln, DialBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ctx := context.Background()
+	if err := a.Send(ctx, 0, 2, transport.Msg{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, 0, 1, transport.Msg{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-b.Recv(1):
+		if d.Seq != 2 {
+			t.Fatalf("delivery Seq = %d, want 2 (the misrouted frame must vanish)", d.Seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("well-formed frame behind a misrouted one never arrived")
+	}
+}

@@ -46,13 +46,20 @@ type Delivery struct {
 // Send is safe for concurrent use.
 //
 // Recv returns node's delivery stream. The channel is owned by the
-// transport and never closed while the transport is open; consumers must
-// select against their own context. Each node's stream has exactly one
-// consuming actor.
+// transport and is NEVER closed — not while the transport is open and not
+// by Close — so consumers must select against their own context rather
+// than range over it. Each node's stream has exactly one consuming actor.
+// Implementations serving only a subset of the cluster's nodes (the TCP
+// transport) return nil for nodes they do not host.
 //
 // Close releases the transport: blocked and future Sends fail with
 // ErrClosed, and any wrapper-internal goroutines (delayed deliveries) are
 // waited out — after Close returns, the transport owns no goroutines.
+// After Close, Recv streams are drained, not closed: deliveries that were
+// already queued before Close remain readable, no new delivery is ever
+// enqueued once Close has returned, and the channel stays open. This
+// contract is normative — the conformance battery (transporttest.Run) pins
+// it for every implementation.
 type Transport interface {
 	Send(ctx context.Context, from, to int, m Msg) error
 	Recv(node int) <-chan Delivery

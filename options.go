@@ -97,6 +97,9 @@ type config struct {
 	historyEvery  int
 	async         bool
 	transport     transport.Transport
+	tcp           *transport.TCPConfig
+	localNodes    []int
+	linger        time.Duration
 	chaos         transport.ChaosConfig
 	hasChaos      bool
 	resendEvery   time.Duration
@@ -294,12 +297,41 @@ func WithTransport(t Transport) Option {
 }
 
 // WithChaos makes Cluster inject seeded network faults: the run-owned
-// in-process transport is wrapped in a chaos layer configured by cfg, and
-// cfg.Crashes additionally drive the actor crash/restart supervisor.
-// Mutually exclusive with WithTransport.
+// transport (in-process by default, wire under WithTCPTransport) is wrapped
+// in a chaos layer configured by cfg, and cfg.Crashes additionally drive
+// the actor crash/restart supervisor. Mutually exclusive with
+// WithTransport.
 func WithChaos(cfg ChaosConfig) Option {
 	return func(c *config) { c.chaos = cfg; c.hasChaos = true }
 }
+
+// WithTCPTransport makes Cluster run over a run-owned wire transport:
+// cfg.Addrs maps every node id to its host:port (length must equal the
+// graph's node count), and the instance hosts the WithLocalNodes subset
+// (all nodes when cfg.Local and WithLocalNodes are both empty — a
+// single-process cluster over real sockets). The transport is closed when
+// the run returns. Composes with WithChaos (the chaos layer wraps the wire
+// transport); mutually exclusive with WithTransport — build the transport
+// yourself with NewTCPTransport when you need to keep it open.
+func WithTCPTransport(cfg TCPTransportConfig) Option {
+	return func(c *config) { cc := cfg; c.tcp = &cc }
+}
+
+// WithLocalNodes restricts the actors a Cluster call animates to the listed
+// node ids — this process's share of a cross-process deployment. The stop
+// conditions become local (see the node runtime's Config.Local); combine
+// with WithLinger so a finished process keeps serving history resends to
+// remote laggards. Default: all nodes.
+func WithLocalNodes(ids ...int) Option {
+	return func(c *config) { c.localNodes = append([]int(nil), ids...) }
+}
+
+// WithLinger keeps a Cluster call's actors alive for d after its local stop
+// condition fires, still draining deliveries and serving stall-triggered
+// history resends. Without it a finished process's exit looks like a crash
+// to remote peers that still need its history. Default 0: return
+// immediately.
+func WithLinger(d time.Duration) Option { return func(c *config) { c.linger = d } }
 
 // WithResendEvery sets a cluster actor's initial stall-triggered
 // retransmission interval (it backs off exponentially while no progress is

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Multi-process conformance gate for the TCP transport and `iabc serve`.
+#
+# Phase 1 (conformance): launch one `iabc serve` process per node of a
+# complete:3 topology on loopback, let the cluster run every round, and
+# require the collected hex-float finals to be byte-identical to the
+# single-process oracle (`iabc run -finals` — the sequential simulator,
+# which the in-process cluster is already pinned against). Also requires
+# every process to report "validity: held".
+#
+# Phase 2 (safety under partial failure): relaunch with a round budget the
+# survivors cannot finish without the victim, SIGKILL one process mid-run,
+# and require the survivors to STALL — report "verdict: stalled" with
+# validity still held — rather than fabricate progress. At f = 0 the quorum
+# is the full in-neighborhood, so any post-kill round completion would be a
+# protocol violation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bin=$(mktemp -d)/iabc
+go build -o "$bin" ./cmd/iabc
+
+work=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$work"' EXIT
+
+topo=complete:3
+seed=7
+rounds=20
+base=$(( (RANDOM % 10000) + 20000 ))
+peers="$work/peers.txt"
+{
+  echo "# node address"
+  for i in 0 1 2; do
+    echo "$i 127.0.0.1:$((base + i))"
+  done
+} > "$peers"
+
+echo "== phase 1: 3-process finals vs single-process oracle (ports $base-$((base + 2)))"
+"$bin" run -topo "$topo" -f 0 -eps 0 -rounds "$rounds" -seed "$seed" -finals \
+  | grep '^final' | sort -n -k2 > "$work/oracle.txt"
+
+pids=()
+for i in 0 1 2; do
+  "$bin" serve -topo "$topo" -id "$i" -peers "$peers" -f 0 -rounds "$rounds" \
+    -seed "$seed" -stall 10s -linger 1s > "$work/serve$i.out" 2>&1 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do
+  wait "$pid" || { echo "serve process $pid failed:"; cat "$work"/serve*.out; exit 1; }
+done
+
+grep -h '^final' "$work"/serve{0,1,2}.out | sort -n -k2 > "$work/got.txt"
+if ! diff -u "$work/oracle.txt" "$work/got.txt"; then
+  echo "FAIL: multi-process finals differ from the oracle"
+  exit 1
+fi
+for i in 0 1 2; do
+  grep -q '^validity: held' "$work/serve$i.out" || { echo "FAIL: node $i validity line missing"; cat "$work/serve$i.out"; exit 1; }
+  grep -q '^verdict: max rounds' "$work/serve$i.out" || { echo "FAIL: node $i did not finish all rounds"; cat "$work/serve$i.out"; exit 1; }
+done
+echo "phase 1 OK: finals bit-identical across 3 processes"
+
+echo "== phase 2: SIGKILL one node, survivors must stall, not violate validity"
+pids=()
+for i in 0 1 2; do
+  "$bin" serve -topo "$topo" -id "$i" -peers "$peers" -f 0 -rounds 1000000 \
+    -seed "$seed" -stall 2s -linger 0s > "$work/kill$i.out" 2>&1 &
+  pids+=($!)
+done
+sleep 0.5
+kill -9 "${pids[2]}" 2>/dev/null || true
+wait "${pids[2]}" 2>/dev/null || true
+for i in 0 1; do
+  wait "${pids[$i]}" || { echo "survivor $i failed:"; cat "$work/kill$i.out"; exit 1; }
+  grep -q '^verdict: stalled' "$work/kill$i.out" || { echo "FAIL: survivor $i did not stall"; cat "$work/kill$i.out"; exit 1; }
+  grep -q '^validity: held' "$work/kill$i.out" || { echo "FAIL: survivor $i validity violated"; cat "$work/kill$i.out"; exit 1; }
+done
+echo "phase 2 OK: survivors stalled with validity held"
+echo "multiprocess gate PASSED"
