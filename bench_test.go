@@ -12,12 +12,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"iabc/internal/adversary"
 	"iabc/internal/async"
 	"iabc/internal/condition"
 	"iabc/internal/core"
+	"iabc/internal/distrib"
 	"iabc/internal/experiments"
 	"iabc/internal/graph"
 	"iabc/internal/nodeset"
@@ -736,4 +738,35 @@ func BenchmarkMaxF(b *testing.B) {
 			b.Fatalf("MaxF = %d", maxF)
 		}
 	}
+}
+
+// BenchmarkDistribDispatch measures the distributed job protocol's
+// scheduling floor: no-op jobs leased through a loopback coordinator to two
+// in-process workers — grant, report, and ack per job, with nothing to
+// compute. Real scans amortize this cost over whole fault-set ranges.
+func BenchmarkDistribDispatch(b *testing.B) {
+	coord := distrib.NewCoordinator(distrib.Options{})
+	if err := coord.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			distrib.Work(ctx, coord.Addr(), distrib.WorkerOptions{})
+		}()
+	}
+	defer func() {
+		coord.Close()
+		cancel()
+		wg.Wait()
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := coord.DispatchNoop(context.Background(), int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }

@@ -163,10 +163,16 @@ func Sweep(ctx context.Context, g *Graph, scenarios []Scenario, opts ...Option) 
 	if err != nil {
 		return nil, err
 	}
+	store, err := c.stateBackend()
+	if err != nil {
+		return nil, err
+	}
 	so := sim.SweepOptions{
-		Engine:  engine,
-		Workers: c.workers,
-		Extras:  c.batchExtras(c.initial),
+		Engine:    engine,
+		Workers:   c.workers,
+		Extras:    c.batchExtras(c.initial),
+		Store:     store,
+		StateSalt: fmt.Sprintf("seed=%d", c.seed),
 	}
 	if obs := c.observer; obs != nil {
 		var mu sync.Mutex
@@ -181,6 +187,24 @@ func Sweep(ctx context.Context, g *Graph, scenarios []Scenario, opts ...Option) 
 				Range:    tr.FinalRange(),
 			})
 		}
+	}
+	if c.distributed() {
+		coord, stop, err := c.startCoordinator()
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		if !c.hasWorkers && c.workerPool > 0 {
+			// In-flight scenario jobs default to the pool size, so every
+			// local worker has one to run.
+			so.Workers = c.workerPool
+		}
+		res, err := coord.Sweep(ctx, base, scenarios, c.seed, so)
+		if err != nil {
+			return nil, err
+		}
+		emitCoordinatorEvent(c.observer, coord)
+		return res, nil
 	}
 	return sim.Sweep(ctx, base, scenarios, so)
 }
@@ -216,11 +240,25 @@ func Check(ctx context.Context, g *Graph, f int, opts ...Option) (CheckResult, e
 	if err != nil {
 		return CheckResult{}, err
 	}
-	return condition.CheckScan(ctx, g, f, threshold, condition.ScanOptions{
+	so := condition.ScanOptions{
 		Workers:    c.workers,
 		OnProgress: progress,
 		Store:      store,
-	})
+	}
+	if c.distributed() {
+		coord, stop, err := c.startCoordinator()
+		if err != nil {
+			return CheckResult{}, err
+		}
+		defer stop()
+		res, err := coord.CheckScan(ctx, g, f, threshold, so)
+		if err != nil {
+			return res, err
+		}
+		emitCoordinatorEvent(c.observer, coord)
+		return res, nil
+	}
+	return condition.CheckScan(ctx, g, f, threshold, so)
 }
 
 // MaxF returns the largest f for which g satisfies the synchronous
@@ -259,6 +297,20 @@ func MaxFWithStats(ctx context.Context, g *Graph, opts ...Option) (int, MaxFStat
 		mo.OnProgress = func(f int, p condition.Progress) {
 			emit(Event{Kind: EventCheckProgress, F: f, Done: p.FaultSetsDone, Total: p.FaultSetsTotal})
 		}
+	}
+	if c.distributed() {
+		coord, stop, err := c.startCoordinator()
+		if err != nil {
+			return -1, MaxFStats{}, err
+		}
+		defer stop()
+		mo.CheckRunner = coord.CheckScan
+		best, stats, err := condition.MaxFScan(ctx, g, mo)
+		if err != nil {
+			return best, stats, err
+		}
+		emitCoordinatorEvent(c.observer, coord)
+		return best, stats, nil
 	}
 	return condition.MaxFScan(ctx, g, mo)
 }

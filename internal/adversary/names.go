@@ -1,0 +1,90 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ByName resolves a built-in strategy by its canonical CLI name, seeding
+// randomized ones from seed. It is the single resolution point shared by the
+// facade (iabc.AdversaryByName) and the distributed sweep runner, so a
+// scenario named on a coordinator resolves to the identical strategy on a
+// worker. "" and "none" are aliases of "conforming".
+func ByName(name string, seed int64) (Strategy, error) {
+	switch name {
+	case "", "none", "conforming":
+		return Conforming{}, nil
+	case "fixed-high":
+		return Fixed{Value: 1e6}, nil
+	case "fixed-low":
+		return Fixed{Value: -1e6}, nil
+	case "silent":
+		return Silent{}, nil
+	case "noise":
+		return &RandomNoise{Rng: rand.New(rand.NewSource(seed)), Lo: -1e3, Hi: 1e3}, nil
+	case "extremes":
+		return Extremes{Amplitude: 100}, nil
+	case "hug-high":
+		return Hug{High: true}, nil
+	case "hug-low":
+		return Hug{}, nil
+	case "insider-high":
+		return &Insider{High: true}, nil
+	case "insider-low":
+		return &Insider{}, nil
+	default:
+		return nil, fmt.Errorf("adversary: unknown strategy %q (want one of %v)", name, Names())
+	}
+}
+
+// CanonicalName maps a strategy value back to the ByName name that
+// reconstructs it exactly, or ok=false when the value is not a named
+// built-in configuration — a Fixed with a custom value, a user-defined
+// Strategy, or a *RandomNoise (whose generator state cannot be rebuilt from
+// a name, so it is never distributable by name). The round-trip property —
+// ByName(CanonicalName(s)) behaves identically to s — is what lets a
+// coordinator ship a scenario to a worker as a name and still get a
+// bit-identical trace back.
+func CanonicalName(s Strategy) (string, bool) {
+	switch v := s.(type) {
+	case Conforming:
+		return "conforming", true
+	case Fixed:
+		switch v.Value {
+		case 1e6:
+			return "fixed-high", true
+		case -1e6:
+			return "fixed-low", true
+		}
+	case Silent:
+		return "silent", true
+	case Extremes:
+		if v.Amplitude == 100 {
+			return "extremes", true
+		}
+	case Hug:
+		if v.High {
+			return "hug-high", true
+		}
+		return "hug-low", true
+	case *Insider:
+		if v.High {
+			return "insider-high", true
+		}
+		return "insider-low", true
+	case Insider:
+		if v.High {
+			return "insider-high", true
+		}
+		return "insider-low", true
+	}
+	return "", false
+}
+
+// Names lists the names ByName accepts (one canonical name per strategy).
+func Names() []string {
+	return []string{
+		"conforming", "fixed-high", "fixed-low", "silent", "noise",
+		"extremes", "hug-high", "hug-low", "insider-high", "insider-low",
+	}
+}

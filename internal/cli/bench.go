@@ -8,11 +8,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"iabc"
 	"iabc/internal/core"
+	"iabc/internal/distrib"
 
 	"math/rand"
 )
@@ -387,6 +389,38 @@ func cmdBench(args []string, stdout io.Writer) error {
 			<-rc
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+	})
+
+	// Distributed dispatch floor: a loopback coordinator with two in-process
+	// workers leasing no-op jobs — one op is one job granted, reported, and
+	// acknowledged through the framed TCP job protocol. The jobs/s metric is
+	// the scheduling ceiling under `iabc coordinate`; real scans amortize one
+	// job across a whole fault-set range.
+	run("distrib/dispatch/loopback-2workers", func(b *testing.B) {
+		coord := distrib.NewCoordinator(distrib.Options{})
+		if err := coord.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		wctx, cancel := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				distrib.Work(wctx, coord.Addr(), distrib.WorkerOptions{})
+			}()
+		}
+		defer func() {
+			coord.Close()
+			cancel()
+			wg.Wait()
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := coord.DispatchNoop(ctx, int64(b.N)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 	})
 
 	// Exact checker rows. Degree-bound pruning turned core_n13_f4 from the

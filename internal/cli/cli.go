@@ -27,6 +27,8 @@ Commands:
   run          simulate Algorithm 1 under a Byzantine adversary
   cluster      run the live actor cluster, optionally under network chaos
   serve        run this process's nodes of a cross-process TCP cluster
+  coordinate   run a maxf scan served to distributed workers as leased jobs
+  work         join a coordinator and process its jobs until it finishes
   repair       add edges until the topology satisfies the condition
   sweep        family sweep (rounds-to-ε vs n) as CSV
   topo         emit the topology (edge list or DOT)
@@ -59,6 +61,10 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdCluster(rest, stdin, stdout)
 	case "serve":
 		err = cmdServe(rest, stdin, stdout)
+	case "coordinate":
+		err = cmdCoordinate(rest, stdin, stdout)
+	case "work":
+		err = cmdWork(rest, stdout)
 	case "repair":
 		err = cmdRepair(rest, stdin, stdout)
 	case "sweep":
@@ -154,6 +160,14 @@ func cmdMaxF(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	printMaxFReport(stdout, g, maxF, stats)
+	return nil
+}
+
+// printMaxFReport prints the maxf result lines. cmdMaxF and cmdCoordinate
+// share it so a distributed scan's maxf/work/state lines diff byte-identical
+// against the single-process run (the CI distributed gate relies on this).
+func printMaxFReport(stdout io.Writer, g *iabc.Graph, maxF int, stats iabc.MaxFStats) {
 	fmt.Fprintf(stdout, "graph: %s\n", g)
 	switch {
 	case maxF < 0:
@@ -174,7 +188,6 @@ func cmdMaxF(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "state: %d checks replayed, %d fault sets resumed, %d verdict cache hits\n",
 			stats.ChecksResumed, stats.FaultSetsResumed, stats.CacheHits)
 	}
-	return nil
 }
 
 // engineByName resolves the -engine flag shared by run and sweep.

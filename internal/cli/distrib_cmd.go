@@ -1,0 +1,75 @@
+package cli
+
+// The distributed pair: `iabc coordinate` runs a maxf scan whose fault-set
+// ranges are leased out over the job protocol, and `iabc work` joins a
+// coordinator and processes them. Both speak through the public facade
+// (WithCoordinator / WithWorkerPool / Work); the maxf and work report lines
+// are printed by the same helper cmdMaxF uses, so a distributed run diffs
+// byte-identical against a single-process one — the CI distributed gate
+// relies on this.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"iabc"
+)
+
+func cmdCoordinate(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("coordinate", flag.ContinueOnError)
+	topoSpec := fs.String("topo", "", "topology spec (required)")
+	listen := fs.String("listen", "127.0.0.1:0", "address to serve the job protocol on; workers join with `iabc work -join`")
+	stateDir := fs.String("state-dir", "", "checkpoint/resume directory: the durable frontier is byte-identical to a single-process run's")
+	pool := fs.Int("pool", 0, "local in-process workers to start alongside external ones")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := ParseTopo(*topoSpec, stdin)
+	if err != nil {
+		return err
+	}
+	opts := []iabc.Option{iabc.WithCoordinator(*listen)}
+	if *stateDir != "" {
+		opts = append(opts, iabc.WithStateDir(*stateDir))
+	}
+	if *pool > 0 {
+		opts = append(opts, iabc.WithWorkerPool(*pool))
+	}
+	// The scheduling summary arrives once the scan completes; everything
+	// before it runs through the exact same MaxFWithStats path as `iabc maxf`.
+	var summary iabc.Event
+	opts = append(opts, iabc.WithObserver(func(e iabc.Event) {
+		if e.Kind == iabc.EventCoordinator {
+			summary = e
+		}
+	}))
+	fmt.Fprintf(stdout, "coordinate: serving jobs on %s\n", *listen)
+	maxF, stats, err := iabc.MaxFWithStats(context.Background(), g, opts...)
+	if err != nil {
+		return err
+	}
+	printMaxFReport(stdout, g, maxF, stats)
+	// Off the maxf/work/state lines, like the resume provenance.
+	fmt.Fprintf(stdout, "distrib: %d worker(s) joined at %s, %d job(s) granted\n",
+		summary.Total, summary.Name, summary.Done)
+	return nil
+}
+
+func cmdWork(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("work", flag.ContinueOnError)
+	join := fs.String("join", "", "coordinator address to join (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *join == "" {
+		return fmt.Errorf("cli: -join is required")
+	}
+	fmt.Fprintf(stdout, "worker: joining %s\n", *join)
+	if err := iabc.Work(context.Background(), *join); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "worker: coordinator finished, exiting")
+	return nil
+}

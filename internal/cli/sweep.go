@@ -81,6 +81,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 	scenarios := fs.Int("scenarios", 0, "batched what-if initial vectors per point (matrix engine replay of the base adversary)")
 	batch := fs.Int("batch", 0, "matrix-replay initial vectors per scenario row (composes with -adversaries; requires -engine matrix)")
 	workers := fs.Int("workers", 1, "parallel scenario workers per point (0 = GOMAXPROCS); scenarios run bit-identically at any worker count")
+	stateDir := fs.String("state-dir", "", "checkpoint/resume directory: completed scenarios of an interrupted sweep are resumed, not re-simulated")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -214,7 +215,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		}
 		faultyIDs := firstNodes(n, *f)
 		baseOpts := func(extra ...iabc.Option) []iabc.Option {
-			return append([]iabc.Option{
+			opts := []iabc.Option{
 				iabc.WithEngine(engine),
 				iabc.WithF(*f),
 				iabc.WithFaulty(faultyIDs...),
@@ -222,7 +223,11 @@ func cmdSweep(args []string, stdout io.Writer) error {
 				iabc.WithAdversary(strats[0]),
 				iabc.WithMaxRounds(*rounds),
 				iabc.WithEpsilon(*eps),
-			}, extra...)
+			}
+			if *stateDir != "" {
+				opts = append(opts, iabc.WithStateDir(*stateDir), iabc.WithSeed(*seed))
+			}
+			return append(opts, extra...)
 		}
 		var traces []*iabc.Trace
 		rowRanges := make([]string, len(advNames))

@@ -346,6 +346,13 @@ type MaxFOptions struct {
 	// CheckpointEvery is the per-check checkpoint cadence (see
 	// ScanOptions.CheckpointEvery).
 	CheckpointEvery int
+	// CheckRunner, when non-nil, replaces CheckScan as the executor of each
+	// per-f check — the seam the distributed coordinator plugs into so one
+	// MaxFScan reuses its replay, caching, and stats aggregation unchanged
+	// while the fault-set enumeration runs on remote workers. The runner
+	// must honor the CheckScan contract: same Result for the same
+	// (g, f, threshold), opts.Store consulted for resume/caching.
+	CheckRunner func(ctx context.Context, g *graph.Graph, f, threshold int, opts ScanOptions) (Result, error)
 }
 
 // MaxFScan is the full MaxF coordinator: the monotone f-sweep with context
@@ -393,13 +400,17 @@ func MaxFScan(ctx context.Context, g *graph.Graph, opts MaxFOptions) (int, MaxFS
 		}
 		startF = len(rec.Checks)
 	}
+	runCheck := opts.CheckRunner
+	if runCheck == nil {
+		runCheck = CheckScan
+	}
 	for f := startF; 3*f < g.N(); f++ {
 		var progress ProgressFunc
 		if opts.OnProgress != nil {
 			f := f
 			progress = func(p Progress) { opts.OnProgress(f, p) }
 		}
-		res, err := CheckScan(ctx, g, f, SyncThreshold(f), ScanOptions{
+		res, err := runCheck(ctx, g, f, SyncThreshold(f), ScanOptions{
 			Workers:         workers,
 			OnProgress:      progress,
 			Store:           opts.Store,

@@ -1,0 +1,226 @@
+package condition
+
+// This file exports the checker's two distribution seams. A scan is
+// embarrassingly parallel across fault sets, and each fault set's work —
+// verdict contribution and counter delta alike — is a pure function of
+// (graph, ground, threshold): that is the same determinism argument the
+// checkpoint/resume layer rests on (see state.go). The distributed runner
+// in internal/distrib builds on exactly these two pieces:
+//
+//   - ShardScanner executes an arbitrary index range of the canonical
+//     fault-set enumeration on a worker, reproducing the sequential scan's
+//     early-exit semantics within the range.
+//   - ScanFrontier is the coordinator's durable contiguous frontier — the
+//     same reorder-buffered checkpointer CheckScan uses internally,
+//     generalized from single indices to lease-sized spans.
+//
+// Because both sides are pure in the scan identity, a run sharded across
+// machines — including one where leases expire and are re-executed —
+// finishes with verdict, witness, and counters identical to the
+// single-process scan.
+
+import (
+	"context"
+	"fmt"
+
+	"iabc/internal/graph"
+	"iabc/internal/nodeset"
+	"iabc/internal/statestore"
+)
+
+// WorkCounters is the exported form of the per-scan work account: candidate
+// L sets examined (tested + pruned), the pruned split, and memo hits. It is
+// the unit that flows from workers to the coordinator and into checkpoints.
+type WorkCounters struct {
+	Candidates int64
+	Pruned     int64
+	MemoHits   int64
+}
+
+// Add accumulates other into c.
+func (c *WorkCounters) Add(other WorkCounters) {
+	c.Candidates += other.Candidates
+	c.Pruned += other.Pruned
+	c.MemoHits += other.MemoHits
+}
+
+func (c WorkCounters) internal() checkCounters {
+	return checkCounters{candidates: c.Candidates, pruned: c.Pruned, memoHits: c.MemoHits}
+}
+
+func exportCounters(c checkCounters) WorkCounters {
+	return WorkCounters{Candidates: c.candidates, Pruned: c.pruned, MemoHits: c.memoHits}
+}
+
+// NumFaultSets returns the scan extent Σ_{k≤f} C(n,k) — the number of fault
+// sets the canonical enumeration visits — or 0 when n exceeds the int64
+// binomial table (n > 62), in which case the scan cannot be partitioned by
+// index and must run locally.
+func NumFaultSets(n, f int) int64 { return totalFaultSets(n, f) }
+
+// ScanFrontier is the coordinator-facing handle on a scan's durable
+// contiguous frontier: completed spans are journaled out of order, the
+// frontier advances only over gap-free prefixes, and the aggregate is
+// checkpointed through a statestore.Backend on the usual cadence. With a
+// nil store the frontier is memory-only — same aggregation, no durability.
+type ScanFrontier struct {
+	st    *scanState
+	total int64
+}
+
+// LoadScanFrontier consults the store (which may be nil) for the scan
+// identity (g, f, threshold) and returns, in order of preference: a cached
+// verdict (cached != nil — the scan need not run), or a frontier seeded
+// from the newest checkpoint (possibly empty). The validation mirrors
+// CheckScan's: f ≥ 0, threshold ≥ 1, n−f ≤ 62.
+func LoadScanFrontier(ctx context.Context, store statestore.Backend, g *graph.Graph, f, threshold, checkpointEvery int) (fr *ScanFrontier, cached *Result, err error) {
+	if f < 0 {
+		return nil, nil, fmt.Errorf("condition: f must be >= 0, got %d", f)
+	}
+	if threshold < 1 {
+		return nil, nil, fmt.Errorf("condition: threshold must be >= 1, got %d", threshold)
+	}
+	if g.N()-f > 62 {
+		return nil, nil, fmt.Errorf("condition: exact check infeasible for n-f = %d > 62 nodes", g.N()-f)
+	}
+	st, cached, err := loadScanState(ctx, store, g, f, threshold, checkpointEvery)
+	if err != nil || cached != nil {
+		return nil, cached, err
+	}
+	return &ScanFrontier{st: st, total: totalFaultSets(g.N(), f)}, nil, nil
+}
+
+// Total returns the scan extent (see NumFaultSets).
+func (fr *ScanFrontier) Total() int64 { return fr.total }
+
+// ResumePoint returns the first fault-set index still to scan and the
+// counter aggregate the persisted prefix already accounts for.
+func (fr *ScanFrontier) ResumePoint() (int64, WorkCounters) {
+	idx, cc := fr.st.resumePoint()
+	return idx, exportCounters(cc)
+}
+
+// CompleteSpan journals the fault sets [lo, hi) as satisfied with their
+// aggregate counter delta. Spans must be disjoint; out-of-order spans wait
+// in the reorder buffer, so the durable frontier never jumps a gap.
+func (fr *ScanFrontier) CompleteSpan(ctx context.Context, lo, hi int64, delta WorkCounters) error {
+	return fr.st.completeSpan(ctx, lo, hi, delta.internal())
+}
+
+// Position returns the current contiguous frontier and the counter
+// aggregate over [0, frontier) — resumed prefix included.
+func (fr *ScanFrontier) Position() (int64, WorkCounters) {
+	fr.st.mu.Lock()
+	defer fr.st.mu.Unlock()
+	return fr.st.frontier, exportCounters(fr.st.agg)
+}
+
+// Flush forces a checkpoint write of the current frontier — the last act of
+// an interrupted coordinator, so a resume loses at most the reorder tail.
+func (fr *ScanFrontier) Flush(ctx context.Context) error { return fr.st.flush(ctx) }
+
+// Finish settles the scan: the verdict is cached for later calls with the
+// same identity and the in-flight checkpoint is removed — byte-identical to
+// what a single-process CheckScan would persist for the same Result.
+func (fr *ScanFrontier) Finish(ctx context.Context, res Result) error {
+	return fr.st.finish(ctx, res)
+}
+
+// RangeResult reports a ShardScanner.ScanRange outcome.
+type RangeResult struct {
+	// Completed counts the satisfied fault sets scanned: indexes
+	// [lo, lo+Completed) passed. Equal to hi−lo iff no violation.
+	Completed int64
+	// Violation is the absolute index of the first violating fault set in
+	// the range, or -1. The scan stops there, exactly like the sequential
+	// scan does.
+	Violation int64
+	// Witness is the violating partition when Violation >= 0.
+	Witness *Witness
+	// Satisfied aggregates the counter deltas of the Completed prefix.
+	Satisfied WorkCounters
+	// Partial is the violating fault set's own early-exit counter delta —
+	// the work findDisjointInsulatedPair did before stopping at the first
+	// violating candidate. Zero when the range is clean. The single-process
+	// scan includes exactly this partial in its totals, so a distributed
+	// aggregate that adds Partial once (for the lowest violation) matches.
+	Partial WorkCounters
+}
+
+// ShardScanner executes index ranges of the canonical fault-set enumeration
+// for one scan identity (g, f, threshold) — a worker's compute kernel. The
+// fault sets are materialized once in canonical (size-ascending, then
+// combination-lexicographic) order, so any [lo, hi) range is addressable in
+// O(1); the insulation scratch is reused across calls, which is sound
+// because all cross-fault-set state resets per ground (see state.go).
+//
+// A ShardScanner is not safe for concurrent use; give each goroutine its
+// own.
+type ShardScanner struct {
+	g         *graph.Graph
+	threshold int
+	universe  nodeset.Set
+	faultSets []nodeset.Set
+	scratch   *insulationScratch
+}
+
+// NewShardScanner materializes the enumeration for (g, f, threshold). The
+// feasibility validation mirrors CheckScan's.
+func NewShardScanner(g *graph.Graph, f, threshold int) (*ShardScanner, error) {
+	n := g.N()
+	if f < 0 {
+		return nil, fmt.Errorf("condition: f must be >= 0, got %d", f)
+	}
+	if threshold < 1 {
+		return nil, fmt.Errorf("condition: threshold must be >= 1, got %d", threshold)
+	}
+	if n-f > 62 {
+		return nil, fmt.Errorf("condition: exact check infeasible for n-f = %d > 62 nodes", n-f)
+	}
+	universe := nodeset.Universe(n)
+	var faultSets []nodeset.Set
+	for fSize := 0; fSize <= f && fSize <= n; fSize++ {
+		nodeset.SubsetsAscendingSize(universe, fSize, fSize, func(s nodeset.Set) bool {
+			faultSets = append(faultSets, s.Clone())
+			return true
+		})
+	}
+	return &ShardScanner{
+		g: g, threshold: threshold, universe: universe,
+		faultSets: faultSets, scratch: newInsulationScratch(g),
+	}, nil
+}
+
+// NumFaultSets returns the enumeration's extent.
+func (s *ShardScanner) NumFaultSets() int64 { return int64(len(s.faultSets)) }
+
+// ScanRange scans fault sets [lo, hi), stopping at the first violation —
+// the sequential scan restricted to the range. Cancellation is checked
+// between fault sets; on cancellation the partial result is discarded and
+// only the error returns (the caller's lease is simply re-run elsewhere).
+func (s *ShardScanner) ScanRange(ctx context.Context, lo, hi int64) (RangeResult, error) {
+	res := RangeResult{Violation: -1}
+	if lo < 0 || hi < lo || hi > int64(len(s.faultSets)) {
+		return res, fmt.Errorf("condition: scan range [%d, %d) outside [0, %d)", lo, hi, len(s.faultSets))
+	}
+	for i := lo; i < hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("condition: shard scan canceled at fault set %d: %w", i, context.Cause(ctx))
+		}
+		fSet := s.faultSets[i]
+		ground := s.universe.Difference(fSet)
+		var cc checkCounters
+		w := findDisjointInsulatedPair(s.scratch, ground, s.threshold, &cc)
+		if w != nil {
+			w.F = fSet.Clone()
+			w.C = ground.Difference(w.L).Difference(w.R)
+			res.Violation = i
+			res.Witness = w
+			res.Partial = exportCounters(cc)
+			return res, nil
+		}
+		res.Completed++
+		res.Satisfied.Add(exportCounters(cc))
+	}
+	return res, nil
+}

@@ -1,0 +1,233 @@
+package condition
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"iabc/internal/graph"
+	"iabc/internal/statestore"
+	"iabc/internal/topology"
+)
+
+// composeRanges runs scanner over [0, total) in chunks of the given size and
+// composes the spans the way the distributed coordinator does: full-span
+// counters for clean chunks, the satisfied prefix plus the violating set's
+// partial for the chunk that stops. It returns the composed Result.
+func composeRanges(t *testing.T, scanner *ShardScanner, chunk int64) Result {
+	t.Helper()
+	ctx := context.Background()
+	total := scanner.NumFaultSets()
+	res := Result{Satisfied: true}
+	var agg WorkCounters
+	for lo := int64(0); lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		rr, err := scanner.ScanRange(ctx, lo, hi)
+		if err != nil {
+			t.Fatalf("ScanRange[%d,%d): %v", lo, hi, err)
+		}
+		agg.Add(rr.Satisfied)
+		res.FaultSetsExamined += rr.Completed
+		if rr.Violation >= 0 {
+			if rr.Violation != lo+rr.Completed {
+				t.Fatalf("violation index %d != lo+completed %d", rr.Violation, lo+rr.Completed)
+			}
+			agg.Add(rr.Partial)
+			res.FaultSetsExamined++
+			res.Satisfied = false
+			res.Witness = rr.Witness
+			break
+		}
+		if rr.Completed != hi-lo {
+			t.Fatalf("clean range completed %d of %d", rr.Completed, hi-lo)
+		}
+	}
+	res.CandidatesExamined = agg.Candidates
+	res.CandidatesPruned = agg.Pruned
+	res.MemoHits = agg.MemoHits
+	return res
+}
+
+// resultEqual compares the fields a distributed scan must reproduce.
+func resultEqual(t *testing.T, got, want Result) {
+	t.Helper()
+	if got.Satisfied != want.Satisfied {
+		t.Fatalf("Satisfied = %v, want %v", got.Satisfied, want.Satisfied)
+	}
+	if got.FaultSetsExamined != want.FaultSetsExamined {
+		t.Fatalf("FaultSetsExamined = %d, want %d", got.FaultSetsExamined, want.FaultSetsExamined)
+	}
+	if got.CandidatesExamined != want.CandidatesExamined ||
+		got.CandidatesPruned != want.CandidatesPruned ||
+		got.MemoHits != want.MemoHits {
+		t.Fatalf("counters = (%d,%d,%d), want (%d,%d,%d)",
+			got.CandidatesExamined, got.CandidatesPruned, got.MemoHits,
+			want.CandidatesExamined, want.CandidatesPruned, want.MemoHits)
+	}
+	if (got.Witness == nil) != (want.Witness == nil) {
+		t.Fatalf("witness presence = %v, want %v", got.Witness != nil, want.Witness != nil)
+	}
+	if got.Witness != nil && !reflect.DeepEqual(got.Witness, want.Witness) {
+		t.Fatalf("witness = %v, want %v", got.Witness, want.Witness)
+	}
+}
+
+// shardCase builds the named topology for the shard conformance tests.
+func shardCase(t *testing.T, kind string, n, f int) *graph.Graph {
+	t.Helper()
+	var g *graph.Graph
+	var err error
+	switch kind {
+	case "core":
+		g, err = topology.CoreNetwork(n, f)
+	case "chord":
+		g, err = topology.Chord(n, f)
+	default:
+		t.Fatalf("unknown topology kind %q", kind)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestShardScanComposesToSequential pins the distribution seam's soundness:
+// for every chunking of the canonical enumeration, composing ScanRange spans
+// reproduces the sequential CheckScan verbatim — verdict, witness (lowest
+// violating index, early-exit partial counters included), and work totals.
+func TestShardScanComposesToSequential(t *testing.T) {
+	for _, tc := range []struct {
+		kind string
+		n, f int
+	}{
+		{"core", 13, 4},  // satisfied
+		{"chord", 7, 2},  // violated (Section 6.3's example)
+		{"chord", 11, 3}, // violated
+	} {
+		g := shardCase(t, tc.kind, tc.n, tc.f)
+		threshold := SyncThreshold(tc.f)
+		want, err := CheckScan(context.Background(), g, tc.f, threshold, ScanOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanner, err := NewShardScanner(g, tc.f, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, wantTotal := scanner.NumFaultSets(), NumFaultSets(tc.n, tc.f); got != wantTotal {
+			t.Fatalf("NumFaultSets = %d, want %d", got, wantTotal)
+		}
+		for _, chunk := range []int64{1, 7, 64, scanner.NumFaultSets() + 1} {
+			got := composeRanges(t, scanner, chunk)
+			resultEqual(t, got, want)
+		}
+	}
+}
+
+// TestShardScanRangeIsPure re-scans the same range twice on one scanner and
+// on a fresh scanner; all three must agree — the purity fact lease
+// re-execution rests on.
+func TestShardScanRangeIsPure(t *testing.T) {
+	g := shardCase(t, "chord", 11, 3)
+	threshold := SyncThreshold(3)
+	s1, err := NewShardScanner(g, 3, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewShardScanner(g, 3, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	total := s1.NumFaultSets()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		lo := rng.Int63n(total)
+		hi := lo + 1 + rng.Int63n(total-lo)
+		a, err := s1.ScanRange(ctx, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s1.ScanRange(ctx, lo, hi) // same scanner, again
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := s2.ScanRange(ctx, lo, hi) // fresh scanner
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+			t.Fatalf("range [%d,%d) not pure:\n a=%+v\n b=%+v\n c=%+v", lo, hi, a, b, c)
+		}
+	}
+}
+
+// TestScanFrontierSpans drives the exported frontier with out-of-order
+// spans over a Mem store and checks the durable frontier never jumps the
+// gap, then resumes from exactly the journaled prefix.
+func TestScanFrontierSpans(t *testing.T) {
+	g := shardCase(t, "core", 13, 4)
+	store := statestore.NewMem()
+	ctx := context.Background()
+	threshold := SyncThreshold(4)
+	fr, cached, err := LoadScanFrontier(ctx, store, g, 4, threshold, 1)
+	if err != nil || cached != nil {
+		t.Fatalf("LoadScanFrontier: cached=%v err=%v", cached, err)
+	}
+	if start, _ := fr.ResumePoint(); start != 0 {
+		t.Fatalf("fresh resume point = %d", start)
+	}
+	// Journal [40, 100) before [0, 40): the frontier must hold at 0.
+	if err := fr.CompleteSpan(ctx, 40, 100, WorkCounters{Candidates: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if pos, _ := fr.Position(); pos != 0 {
+		t.Fatalf("frontier jumped the gap: %d", pos)
+	}
+	if err := fr.CompleteSpan(ctx, 0, 40, WorkCounters{Candidates: 40, Pruned: 4}); err != nil {
+		t.Fatal(err)
+	}
+	pos, agg := fr.Position()
+	if pos != 100 || agg.Candidates != 100 || agg.Pruned != 4 {
+		t.Fatalf("after gap fill: pos=%d agg=%+v", pos, agg)
+	}
+	if err := fr.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh frontier over the same store resumes at the flushed prefix.
+	fr2, cached, err := LoadScanFrontier(ctx, store, g, 4, threshold, 1)
+	if err != nil || cached != nil {
+		t.Fatalf("reload: cached=%v err=%v", cached, err)
+	}
+	start, agg := fr2.ResumePoint()
+	if start != 100 || agg.Candidates != 100 || agg.Pruned != 4 {
+		t.Fatalf("resume point = %d, %+v", start, agg)
+	}
+	// Finish caches the verdict; the next load serves it.
+	res := Result{Satisfied: true, FaultSetsExamined: fr2.Total(), CandidatesExamined: 1234}
+	if err := fr2.Finish(ctx, res); err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err = LoadScanFrontier(ctx, store, g, 4, threshold, 1)
+	if err != nil || cached == nil || !cached.CacheHit || cached.CandidatesExamined != 1234 {
+		t.Fatalf("after finish: cached=%+v err=%v", cached, err)
+	}
+	// Memory-only frontier (nil store) aggregates without persistence.
+	fr3, cached, err := LoadScanFrontier(ctx, nil, g, 4, threshold, 0)
+	if err != nil || cached != nil {
+		t.Fatalf("nil-store load: cached=%v err=%v", cached, err)
+	}
+	if err := fr3.CompleteSpan(ctx, 0, 5, WorkCounters{MemoHits: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if pos, agg := fr3.Position(); pos != 5 || agg.MemoHits != 2 {
+		t.Fatalf("nil-store frontier: pos=%d agg=%+v", pos, agg)
+	}
+	if err := fr3.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

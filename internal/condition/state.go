@@ -130,9 +130,21 @@ type verdictRecord struct {
 	MemoHits   int64          `json:"memo_hits"`
 }
 
+// pendingSpan is a completed half-open range [lo, hi) of satisfied fault
+// sets (keyed by lo in scanState.pending) with its aggregate counter delta,
+// awaiting the contiguous frontier. The local scans complete one index at a
+// time (hi = lo+1); the distributed coordinator journals whole lease chunks.
+type pendingSpan struct {
+	hi int64
+	cc checkCounters
+}
+
 // scanState carries one CheckScan run's persistence: the loaded resume
 // point and the live checkpointer. A nil *scanState disables persistence
-// (every method is nil-safe where the scan loop calls it).
+// (every method is nil-safe where the scan loop calls it); a scanState with
+// a nil store tracks the frontier in memory only — the distributed
+// coordinator uses that form to aggregate counters when no backend is
+// configured.
 type scanState struct {
 	store      statestore.Backend
 	cpKey      string
@@ -145,9 +157,9 @@ type scanState struct {
 	resumedSet int64         // number of fault sets in the resumed prefix
 
 	mu         sync.Mutex
-	frontier   int64                   // contiguous completed prefix length
-	pending    map[int64]checkCounters // completed out-of-order, awaiting the frontier
-	agg        checkCounters           // aggregate over [0, frontier)
+	frontier   int64                 // contiguous completed prefix length
+	pending    map[int64]pendingSpan // completed out-of-order, awaiting the frontier
+	agg        checkCounters         // aggregate over [0, frontier)
 	sinceWrite int64
 	lastWrite  time.Time
 }
@@ -160,6 +172,16 @@ type scanState struct {
 func loadScanState(ctx context.Context, store statestore.Backend, g *graph.Graph, f, threshold int, every int) (st *scanState, cached *Result, err error) {
 	enc := g.Encode()
 	cpKey, vKey := scanKeys(enc, f, threshold)
+	if store == nil {
+		if every <= 0 {
+			every = DefaultCheckpointEvery
+		}
+		return &scanState{
+			enc: enc, f: f, threshold: threshold, every: int64(every),
+			pending:   make(map[int64]pendingSpan),
+			lastWrite: time.Now(),
+		}, nil, nil
+	}
 	if raw, err := store.Read(ctx, vKey); err == nil {
 		var rec verdictRecord
 		if json.Unmarshal(raw, &rec) == nil && rec.Version == stateVersion &&
@@ -183,7 +205,7 @@ func loadScanState(ctx context.Context, store statestore.Backend, g *graph.Graph
 	st = &scanState{
 		store: store, cpKey: cpKey, vKey: vKey, enc: enc,
 		f: f, threshold: threshold, every: int64(every),
-		pending:   make(map[int64]checkCounters),
+		pending:   make(map[int64]pendingSpan),
 		lastWrite: time.Now(),
 	}
 	raw, err := store.Read(ctx, cpKey)
@@ -221,23 +243,35 @@ func (st *scanState) resumePoint() (int64, checkCounters) {
 // advances the durable frontier over any filled gap, and checkpoints when
 // the write cadence (count- or time-based) is due.
 func (st *scanState) complete(ctx context.Context, i int64, delta checkCounters) error {
+	return st.completeSpan(ctx, i, i+1, delta)
+}
+
+// completeSpan records the fault sets [lo, hi) as satisfied with their
+// aggregate counter delta, advances the durable frontier over any filled
+// gap, and checkpoints on the write cadence. Spans must be disjoint; the
+// frontier only advances when the span at its position arrives, so a gap —
+// an unreported lease, a violating index — is never jumped.
+func (st *scanState) completeSpan(ctx context.Context, lo, hi int64, delta checkCounters) error {
 	if st == nil {
+		return nil
+	}
+	if hi <= lo {
 		return nil
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.pending[i] = delta
+	st.pending[lo] = pendingSpan{hi: hi, cc: delta}
 	for {
-		d, ok := st.pending[st.frontier]
+		s, ok := st.pending[st.frontier]
 		if !ok {
 			break
 		}
 		delete(st.pending, st.frontier)
-		st.agg.candidates += d.candidates
-		st.agg.pruned += d.pruned
-		st.agg.memoHits += d.memoHits
-		st.frontier++
-		st.sinceWrite++
+		st.agg.candidates += s.cc.candidates
+		st.agg.pruned += s.cc.pruned
+		st.agg.memoHits += s.cc.memoHits
+		st.sinceWrite += s.hi - st.frontier
+		st.frontier = s.hi
 	}
 	if st.sinceWrite >= st.every || (st.sinceWrite > 0 && time.Since(st.lastWrite) >= checkpointFlushInterval) {
 		return st.writeLocked(ctx)
@@ -257,6 +291,11 @@ func (st *scanState) flush(ctx context.Context) error {
 }
 
 func (st *scanState) writeLocked(ctx context.Context) error {
+	if st.store == nil {
+		st.sinceWrite = 0
+		st.lastWrite = time.Now()
+		return nil
+	}
 	rec := checkpointRecord{
 		Version: stateVersion, Graph: st.enc, F: st.f, Threshold: st.threshold,
 		Done:       st.frontier,
@@ -279,7 +318,7 @@ func (st *scanState) writeLocked(ctx context.Context) error {
 // finish settles the scan: the verdict is cached for every later call with
 // the same (graph, f, threshold), and the in-flight checkpoint is removed.
 func (st *scanState) finish(ctx context.Context, res Result) error {
-	if st == nil {
+	if st == nil || st.store == nil {
 		return nil
 	}
 	rec := verdictRecord{

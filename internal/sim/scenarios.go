@@ -12,6 +12,7 @@ import (
 	"iabc/internal/core"
 	"iabc/internal/graph"
 	"iabc/internal/nodeset"
+	"iabc/internal/statestore"
 )
 
 // Scenario is one variation of a base Config in a batched sweep. Zero-value
@@ -130,8 +131,33 @@ type SweepOptions struct {
 	// from worker goroutines (scenarios complete out of order, and the
 	// cost-first schedule reorders dispatch), so the callback must be safe
 	// for concurrent use. It is not called for scenarios that fail or are
-	// skipped after a failure or cancellation.
+	// skipped after a failure or cancellation, nor for scenarios resumed
+	// from a Store checkpoint (they did not run).
 	OnScenario func(index int, name string, tr *Trace)
+	// Store, when non-nil, makes the sweep durable: every completed
+	// scenario's trace (and extras finals) is persisted bit-exactly, keyed
+	// by the sweep's full derived identity, and a fresh Sweep over the same
+	// store skips persisted scenarios outright — resuming a killed sweep
+	// scenario-identically. Store errors abort the sweep. Records belong to
+	// one exact identity (graph, engine, rule, scenario overrides, extras,
+	// StateSalt); anything else re-runs.
+	Store statestore.Backend
+	// StateSalt folds caller-known identity into the sweep's state key that
+	// the configs themselves cannot expose — typically the seed behind a
+	// randomized adversary, whose Name() does not include it. Two sweeps
+	// differing only in such hidden state must pass different salts or they
+	// would resume from each other's checkpoints.
+	StateSalt string
+	// Runner, when non-nil, replaces the engine execution of each scenario:
+	// instead of running cfg on a pooled ScenarioRunner, the sweep calls
+	// Runner and stores whatever it returns. This is the seam the
+	// distributed coordinator plugs into — scheduling, validation,
+	// OnScenario, checkpointing, and result assembly stay in Sweep while
+	// the simulation itself happens elsewhere. The Runner must return a
+	// trace bit-identical to what the configured engine would produce
+	// (returned finals must align with Extras), and must be safe for
+	// concurrent use when Workers > 1.
+	Runner func(ctx context.Context, index int, cfg *Config, extras [][]float64) (*Trace, [][]float64, error)
 }
 
 // SweepResult is the output of Sweep, index-aligned with the scenarios.
@@ -142,6 +168,10 @@ type SweepResult struct {
 	// Finals[i][x] is the final state vector of Extras[x] replayed through
 	// scenario i's recorded round programs; nil when Extras was empty.
 	Finals [][][]float64
+	// ScenariosResumed counts scenarios served from a Store checkpoint
+	// instead of running — provenance only; the traces are bit-identical
+	// either way.
+	ScenariosResumed int
 }
 
 // Sweep executes base once per scenario, amortizing the graph-dependent
@@ -262,6 +292,34 @@ func sweepOrdered(ctx context.Context, engine Engine, scenarios []Scenario, cfgs
 	if len(opts.Extras) > 0 {
 		res.Finals = make([][][]float64, len(scenarios))
 	}
+	// With a store, serve persisted scenarios before running anything: the
+	// remaining order excludes them, so a resumed sweep only pays for the
+	// scenarios the interrupted run had not settled.
+	var ss *sweepState
+	if opts.Store != nil {
+		var err error
+		ss, err = newSweepState(opts.Store, engine.Name(), opts.StateSalt, cfgs, scenarios, opts.Extras)
+		if err != nil {
+			return nil, err
+		}
+		remaining := order[:0]
+		for _, i := range order {
+			tr, finals, err := ss.load(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			if tr == nil {
+				remaining = append(remaining, i)
+				continue
+			}
+			res.Traces[i] = tr
+			if res.Finals != nil {
+				res.Finals[i] = finals
+			}
+			res.ScenariosResumed++
+		}
+		order = remaining
+	}
 	var completed atomic.Int64
 	// runOne executes scenario i on runner r; each index is written by
 	// exactly one worker, so result slots need no locking.
@@ -271,13 +329,21 @@ func sweepOrdered(ctx context.Context, engine Engine, scenarios []Scenario, cfgs
 			finals [][]float64
 			err    error
 		)
-		if res.Finals != nil {
+		switch {
+		case opts.Runner != nil:
+			tr, finals, err = opts.Runner(ctx, i, &cfgs[i], opts.Extras)
+		case res.Finals != nil:
 			tr, finals, err = r.(batchRunner).runBatchScenario(&cfgs[i], opts.Extras)
-		} else {
+		default:
 			tr, err = r.RunScenario(&cfgs[i])
 		}
 		if err != nil {
 			return fmt.Errorf("sim: scenario %d (%s): %w", i, scenarioName(&scenarios[i]), err)
+		}
+		if ss != nil {
+			if err := ss.save(ctx, i, tr, finals); err != nil {
+				return fmt.Errorf("sim: scenario %d (%s): %w", i, scenarioName(&scenarios[i]), err)
+			}
 		}
 		res.Traces[i] = tr
 		if res.Finals != nil {
@@ -293,10 +359,21 @@ func sweepOrdered(ctx context.Context, engine Engine, scenarios []Scenario, cfgs
 		return fmt.Errorf("sim: sweep canceled after %d/%d scenarios: %w",
 			completed.Load(), len(cfgs), context.Cause(ctx))
 	}
+	// newWorkerRunner builds the per-worker engine state — skipped entirely
+	// when a Runner hook executes scenarios elsewhere.
+	newWorkerRunner := func() ScenarioRunner {
+		if opts.Runner != nil {
+			return genericRunner{engine}
+		}
+		return NewScenarioRunner(engine, cfgs[0].G)
+	}
+	if len(order) == 0 {
+		return res, nil
+	}
 
-	workers := resolveWorkers(opts.Workers, len(scenarios))
+	workers := resolveWorkers(opts.Workers, len(order))
 	if workers == 1 {
-		r := NewScenarioRunner(engine, cfgs[0].G)
+		r := newWorkerRunner()
 		defer r.Close()
 		for _, i := range order {
 			if ctx.Err() != nil {
@@ -322,7 +399,7 @@ func sweepOrdered(ctx context.Context, engine Engine, scenarios []Scenario, cfgs
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			r := NewScenarioRunner(engine, cfgs[0].G)
+			r := newWorkerRunner()
 			defer r.Close()
 			for !failed.Load() && !canceled.Load() {
 				k := int(next.Add(1) - 1)

@@ -1,0 +1,262 @@
+package sim
+
+// Sweep-level durability: each completed scenario of a Sweep is persisted
+// as one record through a statestore.Backend, so a SIGKILLed sweep resumes
+// scenario-identically — the checker's checkpoint/resume story (see
+// internal/condition/state.go) extended to the simulation side, closing the
+// asymmetry ROADMAP item 2 notes.
+//
+// Soundness: a scenario's trace is a pure function of its derived Config
+// (engines are deterministic; randomized adversaries are seeded at
+// construction). The sweep's state key therefore hashes the full derived
+// identity — graph encoding, engine, rule, adversary names, every float of
+// every initial vector — plus a caller-supplied salt for identity the
+// config cannot see (the seed behind a *RandomNoise). Floats are stored as
+// IEEE-754 bit patterns, so a resumed trace is bit-identical to the one the
+// interrupted run produced, NaN and ±Inf included.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"iabc/internal/nodeset"
+	"iabc/internal/statestore"
+)
+
+// sweepStateVersion versions the persisted scenario record schema; bump on
+// any change so stale records miss instead of misparse.
+const sweepStateVersion = 1
+
+// floatBits converts a float slice to its bit-pattern image (nil-safe).
+func floatBits(fs []float64) []uint64 {
+	if fs == nil {
+		return nil
+	}
+	out := make([]uint64, len(fs))
+	for i, f := range fs {
+		out[i] = math.Float64bits(f)
+	}
+	return out
+}
+
+// bitsFloat inverts floatBits.
+func bitsFloat(bs []uint64) []float64 {
+	if bs == nil {
+		return nil
+	}
+	out := make([]float64, len(bs))
+	for i, b := range bs {
+		out[i] = math.Float64frombits(b)
+	}
+	return out
+}
+
+func floatBits2(fss [][]float64) [][]uint64 {
+	if fss == nil {
+		return nil
+	}
+	out := make([][]uint64, len(fss))
+	for i, fs := range fss {
+		out[i] = floatBits(fs)
+	}
+	return out
+}
+
+func bitsFloat2(bss [][]uint64) [][]float64 {
+	if bss == nil {
+		return nil
+	}
+	out := make([][]float64, len(bss))
+	for i, bs := range bss {
+		out[i] = bitsFloat(bs)
+	}
+	return out
+}
+
+// traceRecord is the bit-exact serialized image of a Trace.
+type traceRecord struct {
+	Rounds        int        `json:"rounds"`
+	Converged     bool       `json:"converged"`
+	U             []uint64   `json:"u"`
+	Mu            []uint64   `json:"mu"`
+	States        [][]uint64 `json:"states,omitempty"`
+	Final         []uint64   `json:"final"`
+	FaultFreeN    int        `json:"fault_free_n"`
+	FaultFree     []int      `json:"fault_free"`
+	RuleName      string     `json:"rule"`
+	AdversaryName string     `json:"adversary"`
+}
+
+func toTraceRecord(tr *Trace) traceRecord {
+	return traceRecord{
+		Rounds:        tr.Rounds,
+		Converged:     tr.Converged,
+		U:             floatBits(tr.U),
+		Mu:            floatBits(tr.Mu),
+		States:        floatBits2(tr.States),
+		Final:         floatBits(tr.Final),
+		FaultFreeN:    tr.FaultFree.Cap(),
+		FaultFree:     tr.FaultFree.Members(),
+		RuleName:      tr.RuleName,
+		AdversaryName: tr.AdversaryName,
+	}
+}
+
+func (rec *traceRecord) trace() *Trace {
+	return &Trace{
+		Rounds:        rec.Rounds,
+		Converged:     rec.Converged,
+		U:             bitsFloat(rec.U),
+		Mu:            bitsFloat(rec.Mu),
+		States:        bitsFloat2(rec.States),
+		Final:         bitsFloat(rec.Final),
+		FaultFree:     nodeset.FromMembers(rec.FaultFreeN, rec.FaultFree...),
+		RuleName:      rec.RuleName,
+		AdversaryName: rec.AdversaryName,
+	}
+}
+
+// scenarioResultRecord pairs a trace with its extras finals — the payload a
+// distributed worker ships back and the sweep checkpoint stores.
+type scenarioResultRecord struct {
+	Trace  traceRecord `json:"trace"`
+	Finals [][]uint64  `json:"finals,omitempty"`
+}
+
+// EncodeScenarioResult serializes one scenario's outcome bit-exactly —
+// shared by the sweep checkpoint records and the distributed runner's
+// result frames.
+func EncodeScenarioResult(tr *Trace, finals [][]float64) ([]byte, error) {
+	return json.Marshal(scenarioResultRecord{Trace: toTraceRecord(tr), Finals: floatBits2(finals)})
+}
+
+// DecodeScenarioResult inverts EncodeScenarioResult.
+func DecodeScenarioResult(raw []byte) (*Trace, [][]float64, error) {
+	var rec scenarioResultRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, nil, fmt.Errorf("sim: decoding scenario result: %w", err)
+	}
+	return rec.Trace.trace(), bitsFloat2(rec.Finals), nil
+}
+
+// sweepScenarioKeyRecord is what the state key hashes per scenario — every
+// input that determines the trace.
+type sweepScenarioKeyRecord struct {
+	Name      string   `json:"name"`
+	Adversary string   `json:"adversary"`
+	Rule      string   `json:"rule"`
+	F         int      `json:"f"`
+	MaxRounds int      `json:"max_rounds"`
+	Epsilon   uint64   `json:"epsilon"`
+	Faulty    []int    `json:"faulty"`
+	Initial   []uint64 `json:"initial"`
+	Record    bool     `json:"record_states"`
+}
+
+// sweepIdent derives the sweep's full identity string. The per-scenario
+// record embeds it whole (not just its hash), so a hash collision degrades
+// to a cache miss, never a foreign trace.
+func sweepIdent(engineName, salt string, cfgs []Config, scenarios []Scenario, extras [][]float64) (string, error) {
+	keys := make([]sweepScenarioKeyRecord, len(cfgs))
+	for i := range cfgs {
+		cfg := &cfgs[i]
+		_, advName := names(cfg)
+		keys[i] = sweepScenarioKeyRecord{
+			Name:      scenarioName(&scenarios[i]),
+			Adversary: advName,
+			Rule:      cfg.Rule.Name(),
+			F:         cfg.F,
+			MaxRounds: cfg.MaxRounds,
+			Epsilon:   math.Float64bits(cfg.Epsilon),
+			Faulty:    cfg.faulty().Members(),
+			Initial:   floatBits(cfg.Initial),
+			Record:    cfg.RecordStates,
+		}
+	}
+	ident, err := json.Marshal(struct {
+		Version   int                      `json:"version"`
+		Graph     string                   `json:"graph"`
+		Engine    string                   `json:"engine"`
+		Salt      string                   `json:"salt,omitempty"`
+		Scenarios []sweepScenarioKeyRecord `json:"scenarios"`
+		Extras    [][]uint64               `json:"extras,omitempty"`
+	}{sweepStateVersion, cfgs[0].G.Encode(), engineName, salt, keys, floatBits2(extras)})
+	if err != nil {
+		return "", err
+	}
+	return string(ident), nil
+}
+
+// sweepScenarioRecord is the persisted image of one completed scenario.
+type sweepScenarioRecord struct {
+	Version int             `json:"version"`
+	Ident   string          `json:"ident"`
+	Index   int             `json:"index"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// sweepState carries one Sweep run's persistence.
+type sweepState struct {
+	store statestore.Backend
+	ident string
+	base  string // key prefix "sweep/<hash>"
+}
+
+// newSweepState derives the sweep identity and key prefix.
+func newSweepState(store statestore.Backend, engineName, salt string, cfgs []Config, scenarios []Scenario, extras [][]float64) (*sweepState, error) {
+	ident, err := sweepIdent(engineName, salt, cfgs, scenarios, extras)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256([]byte(ident))
+	return &sweepState{
+		store: store, ident: ident,
+		base: "sweep/" + hex.EncodeToString(sum[:8]),
+	}, nil
+}
+
+func (ss *sweepState) key(i int) string { return fmt.Sprintf("%s/s%06d", ss.base, i) }
+
+// load returns scenario i's persisted result, or (nil, nil, nil) when
+// absent, stale, or foreign — those simply re-run.
+func (ss *sweepState) load(ctx context.Context, i int) (*Trace, [][]float64, error) {
+	raw, err := ss.store.Read(ctx, ss.key(i))
+	if err == statestore.ErrNotFound {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: reading sweep checkpoint: %w", err)
+	}
+	var rec sweepScenarioRecord
+	if json.Unmarshal(raw, &rec) != nil || rec.Version != sweepStateVersion ||
+		rec.Ident != ss.ident || rec.Index != i {
+		return nil, nil, nil // foreign or stale record: re-run the scenario
+	}
+	tr, finals, err := DecodeScenarioResult(rec.Result)
+	if err != nil {
+		return nil, nil, nil // corrupt payload: re-run the scenario
+	}
+	return tr, finals, nil
+}
+
+// save persists scenario i's completed result.
+func (ss *sweepState) save(ctx context.Context, i int, tr *Trace, finals [][]float64) error {
+	payload, err := EncodeScenarioResult(tr, finals)
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(sweepScenarioRecord{
+		Version: sweepStateVersion, Ident: ss.ident, Index: i, Result: payload,
+	})
+	if err != nil {
+		return err
+	}
+	if err := ss.store.Write(ctx, ss.key(i), raw); err != nil {
+		return fmt.Errorf("sim: writing sweep checkpoint: %w", err)
+	}
+	return nil
+}

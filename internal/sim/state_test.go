@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"iabc/internal/adversary"
+	"iabc/internal/nodeset"
+	"iabc/internal/statestore"
+)
+
+// sweepStateScenarios builds a small mixed sweep for the durability tests.
+func sweepStateScenarios() []Scenario {
+	return []Scenario{
+		{Name: "hug-high", Adversary: adversary.Hug{High: true}},
+		{Name: "hug-low", Adversary: adversary.Hug{}},
+		{Name: "extremes", Adversary: adversary.Extremes{Amplitude: 50}},
+		{Name: "silent", Adversary: adversary.Silent{}},
+	}
+}
+
+// TestSweepResumeBitIdentical interrupts a durable sweep partway, then
+// re-runs it over the same store: the resumed sweep must skip the persisted
+// scenarios and still produce traces bit-identical to an undisturbed sweep.
+func TestSweepResumeBitIdentical(t *testing.T) {
+	base := scenarioBase(t)
+	scens := sweepStateScenarios()
+	want, err := Sweep(context.Background(), base, scens, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := statestore.NewMem()
+	// First run: cancel after two scenarios have completed (OnScenario fires
+	// after the checkpoint write, so both are durable when the cancel lands).
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	_, err = Sweep(ctx, base, scens, SweepOptions{
+		Workers: 1, Store: store,
+		OnScenario: func(int, string, *Trace) {
+			if done++; done == 2 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("interrupted sweep returned no error")
+	}
+	if keys, err := store.List(context.Background(), "sweep/"); err != nil || len(keys) != 2 {
+		t.Fatalf("store holds %d records (err %v), want 2", len(keys), err)
+	}
+
+	// Second run over the same store: two scenarios resume, two run fresh.
+	var ran []string
+	res, err := Sweep(context.Background(), base, scens, SweepOptions{
+		Workers: 1, Store: store,
+		OnScenario: func(_ int, name string, _ *Trace) { ran = append(ran, name) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScenariosResumed != 2 {
+		t.Fatalf("ScenariosResumed = %d, want 2", res.ScenariosResumed)
+	}
+	if len(ran) != len(scens)-2 {
+		t.Fatalf("resumed sweep ran %d scenarios (%v), want %d", len(ran), ran, len(scens)-2)
+	}
+	for i := range scens {
+		assertTracesEqual(t, scens[i].Name, want.Traces[i], res.Traces[i])
+	}
+
+	// Third run: everything resumes, nothing executes.
+	res, err = Sweep(context.Background(), base, scens, SweepOptions{
+		Workers: 1, Store: store,
+		OnScenario: func(_ int, name string, _ *Trace) { t.Errorf("scenario %s ran on a fully resumed sweep", name) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScenariosResumed != len(scens) {
+		t.Fatalf("ScenariosResumed = %d, want %d", res.ScenariosResumed, len(scens))
+	}
+	for i := range scens {
+		assertTracesEqual(t, scens[i].Name, want.Traces[i], res.Traces[i])
+	}
+}
+
+// TestSweepResumeIdentityChecks pins when persisted records are trusted:
+// only the exact sweep identity resumes; a different salt, a different
+// scenario set, or a corrupted record re-runs — never misattributes.
+func TestSweepResumeIdentityChecks(t *testing.T) {
+	base := scenarioBase(t)
+	scens := sweepStateScenarios()
+	store := statestore.NewMem()
+	ctx := context.Background()
+	if _, err := Sweep(ctx, base, scens, SweepOptions{Workers: 1, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := store.List(ctx, "sweep/")
+	if err != nil || len(keys) != len(scens) {
+		t.Fatalf("List: %v (%d keys)", err, len(keys))
+	}
+
+	run := func(opts SweepOptions, scens []Scenario) int {
+		t.Helper()
+		opts.Workers, opts.Store = 1, store
+		res, err := Sweep(ctx, base, scens, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ScenariosResumed
+	}
+	if got := run(SweepOptions{}, scens); got != len(scens) {
+		t.Fatalf("same identity resumed %d, want %d", got, len(scens))
+	}
+	if got := run(SweepOptions{StateSalt: "seed=7"}, scens); got != 0 {
+		t.Fatalf("different salt resumed %d, want 0", got)
+	}
+	renamed := append([]Scenario(nil), scens...)
+	renamed[0].Name = "renamed"
+	if got := run(SweepOptions{}, renamed); got != 0 {
+		t.Fatalf("different scenario set resumed %d, want 0", got)
+	}
+
+	// Corrupt one record in place: that scenario re-runs, the rest resume.
+	if err := store.Write(ctx, keys[0], []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(SweepOptions{}, scens); got != len(scens)-1 {
+		t.Fatalf("corrupt record: resumed %d, want %d", got, len(scens)-1)
+	}
+}
+
+// TestSweepResumeParallelAndRunner exercises the durable sweep on the
+// parallel path and through the Runner hook together: a Runner-backed sweep
+// persists what the Runner returns, and the resumed result is bit-identical.
+func TestSweepResumeParallelAndRunner(t *testing.T) {
+	base := scenarioBase(t)
+	scens := sweepStateScenarios()
+	want, err := Sweep(context.Background(), base, scens, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := statestore.NewMem()
+	res, err := Sweep(context.Background(), base, scens, SweepOptions{
+		Workers: 4, Store: store,
+		Runner: func(ctx context.Context, index int, cfg *Config, extras [][]float64) (*Trace, [][]float64, error) {
+			tr, err := Sequential{}.Run(*cfg)
+			return tr, nil, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scens {
+		assertTracesEqual(t, scens[i].Name, want.Traces[i], res.Traces[i])
+	}
+
+	// Resume with the default engine (no Runner): identity matches because
+	// the Runner produced engine-identical traces under the same engine name.
+	res, err = Sweep(context.Background(), base, scens, SweepOptions{Workers: 4, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScenariosResumed != len(scens) {
+		t.Fatalf("ScenariosResumed = %d, want %d", res.ScenariosResumed, len(scens))
+	}
+	for i := range scens {
+		assertTracesEqual(t, scens[i].Name, want.Traces[i], res.Traces[i])
+	}
+}
+
+// TestScenarioResultRoundTrip pins the bit-exactness of the shared scenario
+// result codec, non-finite floats included.
+func TestScenarioResultRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Rounds: 1, Converged: true,
+		U:         []float64{math.NaN(), math.Inf(1)},
+		Mu:        []float64{math.Inf(-1), 1.5},
+		States:    [][]float64{{1, -0.0}, {math.NaN(), -3}},
+		Final:     []float64{0.1, 0.2},
+		FaultFree: nodeset.FromMembers(2, 1),
+		RuleName:  "trimmed-mean", AdversaryName: "hug-high",
+	}
+	finals := [][]float64{{math.Inf(1), -0.0}, nil}
+	raw, err := EncodeScenarioResult(tr, finals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotFinals, err := DecodeScenarioResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTracesEqual(t, "round-trip", tr, got)
+	if len(gotFinals) != len(finals) {
+		t.Fatalf("finals length %d, want %d", len(gotFinals), len(finals))
+	}
+	for i := range finals {
+		if len(gotFinals[i]) != len(finals[i]) {
+			t.Fatalf("finals[%d] length %d, want %d", i, len(gotFinals[i]), len(finals[i]))
+		}
+		for j := range finals[i] {
+			if math.Float64bits(gotFinals[i][j]) != math.Float64bits(finals[i][j]) {
+				t.Fatalf("finals[%d][%d] = %x, want %x", i, j,
+					math.Float64bits(gotFinals[i][j]), math.Float64bits(finals[i][j]))
+			}
+		}
+	}
+	if _, _, err := DecodeScenarioResult([]byte("{broken")); err == nil ||
+		!strings.Contains(err.Error(), "decoding scenario result") {
+		t.Fatalf("corrupt decode error = %v", err)
+	}
+}

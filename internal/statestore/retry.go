@@ -1,0 +1,142 @@
+package statestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Retry wraps a Backend with capped exponential backoff on transient
+// errors, so a scan coordinator journaling its frontier through a flaky
+// medium (a briefly unreachable network filesystem, an object store
+// returning 5xx) rides out the blip instead of aborting a multi-hour run.
+//
+// Permanent outcomes are never retried: ErrNotFound is a successful Read
+// of an absent key, ErrInvalidKey can only recur, and context
+// cancellation means the caller has moved on. Everything else is presumed
+// transient by default; Transient narrows that. Retrying Write is safe
+// because the Backend contract makes writes atomic and idempotent — a
+// replayed Write of the same value converges to the same state.
+type Retry struct {
+	// Inner is the wrapped backend. Required.
+	Inner Backend
+	// Attempts caps the total tries per operation (first call included).
+	// Values < 1 mean DefaultRetryAttempts.
+	Attempts int
+	// BaseDelay seeds the exponential backoff (doubling per retry);
+	// values <= 0 mean DefaultRetryBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep; values <= 0 mean
+	// DefaultRetryMaxDelay.
+	MaxDelay time.Duration
+	// Transient, when non-nil, classifies an error as retryable. The
+	// default treats every error except ErrNotFound, ErrInvalidKey, and
+	// context errors as transient.
+	Transient func(error) bool
+	// sleep is the test seam; nil means a context-aware timer sleep.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Default Retry tuning. Three retries over ~350ms rides out short blips
+// without stretching genuine outages into minutes.
+const (
+	DefaultRetryAttempts  = 4
+	DefaultRetryBaseDelay = 50 * time.Millisecond
+	DefaultRetryMaxDelay  = 2 * time.Second
+)
+
+// NewRetry wraps inner with the default retry policy.
+func NewRetry(inner Backend) *Retry { return &Retry{Inner: inner} }
+
+// transient applies the configured or default classification.
+func (r *Retry) transient(err error) bool {
+	if r.Transient != nil {
+		return r.Transient(err)
+	}
+	return !errors.Is(err, ErrNotFound) &&
+		!errors.Is(err, ErrInvalidKey) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}
+
+// do runs op under the retry policy.
+func (r *Retry) do(ctx context.Context, op func() error) error {
+	attempts := r.Attempts
+	if attempts < 1 {
+		attempts = DefaultRetryAttempts
+	}
+	delay := r.BaseDelay
+	if delay <= 0 {
+		delay = DefaultRetryBaseDelay
+	}
+	maxDelay := r.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = DefaultRetryMaxDelay
+	}
+	sleep := r.sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if serr := sleep(ctx, delay); serr != nil {
+				return serr
+			}
+			if delay *= 2; delay > maxDelay {
+				delay = maxDelay
+			}
+		}
+		if err = op(); err == nil || !r.transient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("statestore: giving up after %d attempts: %w", attempts, err)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Read implements Backend.
+func (r *Retry) Read(ctx context.Context, key string) ([]byte, error) {
+	var v []byte
+	err := r.do(ctx, func() error {
+		var e error
+		v, e = r.Inner.Read(ctx, key)
+		return e
+	})
+	return v, err
+}
+
+// Write implements Backend.
+func (r *Retry) Write(ctx context.Context, key string, value []byte) error {
+	return r.do(ctx, func() error { return r.Inner.Write(ctx, key, value) })
+}
+
+// Delete implements Backend.
+func (r *Retry) Delete(ctx context.Context, key string) error {
+	return r.do(ctx, func() error { return r.Inner.Delete(ctx, key) })
+}
+
+// List implements Backend.
+func (r *Retry) List(ctx context.Context, prefix string) ([]string, error) {
+	var keys []string
+	err := r.do(ctx, func() error {
+		var e error
+		keys, e = r.Inner.List(ctx, prefix)
+		return e
+	})
+	return keys, err
+}
+
+var _ Backend = (*Retry)(nil)

@@ -1,0 +1,171 @@
+package statestore
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// errTransient is the injected fault the flaky backend raises.
+var errTransient = errors.New("statestore_test: transient blip")
+
+// flakyBackend fails every failEvery-th operation with errTransient before
+// delegating; ops counts the attempts that reached it.
+type flakyBackend struct {
+	inner     Backend
+	failEvery int64
+	ops       atomic.Int64
+}
+
+func (f *flakyBackend) fail() bool {
+	return f.ops.Add(1)%f.failEvery == 0
+}
+
+func (f *flakyBackend) Read(ctx context.Context, key string) ([]byte, error) {
+	if f.fail() {
+		return nil, errTransient
+	}
+	return f.inner.Read(ctx, key)
+}
+
+func (f *flakyBackend) Write(ctx context.Context, key string, value []byte) error {
+	if f.fail() {
+		return errTransient
+	}
+	return f.inner.Write(ctx, key, value)
+}
+
+func (f *flakyBackend) Delete(ctx context.Context, key string) error {
+	if f.fail() {
+		return errTransient
+	}
+	return f.inner.Delete(ctx, key)
+}
+
+func (f *flakyBackend) List(ctx context.Context, prefix string) ([]string, error) {
+	if f.fail() {
+		return nil, errTransient
+	}
+	return f.inner.List(ctx, prefix)
+}
+
+// noSleep makes a Retry deterministic and instant for tests.
+func noSleep(r *Retry) *Retry {
+	r.sleep = func(context.Context, time.Duration) error { return nil }
+	return r
+}
+
+// TestRetryNeverRetriesNotFound pins the contract ErrNotFound is a final
+// answer: the inner backend must see exactly one Read.
+func TestRetryNeverRetriesNotFound(t *testing.T) {
+	inner := &flakyBackend{inner: NewMem(), failEvery: 1 << 30} // never fails
+	r := noSleep(NewRetry(inner))
+	if _, err := r.Read(context.Background(), "check/absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read absent = %v, want ErrNotFound", err)
+	}
+	if got := inner.ops.Load(); got != 1 {
+		t.Fatalf("inner saw %d attempts, want 1 (ErrNotFound retried?)", got)
+	}
+}
+
+// TestRetryNeverRetriesInvalidKey pins the same for key validation errors.
+func TestRetryNeverRetriesInvalidKey(t *testing.T) {
+	inner := &flakyBackend{inner: NewMem(), failEvery: 1 << 30}
+	r := noSleep(NewRetry(inner))
+	if err := r.Write(context.Background(), "bad key", []byte("v")); !errors.Is(err, ErrInvalidKey) {
+		t.Fatalf("Write bad key = %v, want ErrInvalidKey", err)
+	}
+	if got := inner.ops.Load(); got != 1 {
+		t.Fatalf("inner saw %d attempts, want 1 (ErrInvalidKey retried?)", got)
+	}
+}
+
+// TestRetryRecoversFromTransient checks a blip shorter than the attempt
+// budget is absorbed and the operation succeeds.
+func TestRetryRecoversFromTransient(t *testing.T) {
+	inner := &flakyBackend{inner: NewMem(), failEvery: 2} // every other op fails
+	r := noSleep(NewRetry(inner))
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if err := r.Write(ctx, "check/k", []byte("v")); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	got, err := r.Read(ctx, "check/k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+}
+
+// TestRetryGivesUpAfterAttempts checks a persistent fault surfaces, wrapped,
+// after exactly Attempts tries.
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	inner := &flakyBackend{inner: NewMem(), failEvery: 1} // always fails
+	r := noSleep(&Retry{Inner: inner, Attempts: 3})
+	err := r.Write(context.Background(), "check/k", []byte("v"))
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want wrapped errTransient", err)
+	}
+	if got := inner.ops.Load(); got != 3 {
+		t.Fatalf("inner saw %d attempts, want 3", got)
+	}
+}
+
+// TestRetryBackoffCappedAndExponential records the sleeps of a failing run
+// and checks doubling up to the cap.
+func TestRetryBackoffCappedAndExponential(t *testing.T) {
+	inner := &flakyBackend{inner: NewMem(), failEvery: 1}
+	var slept []time.Duration
+	r := &Retry{
+		Inner: inner, Attempts: 6,
+		BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond,
+		sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	_ = r.Write(context.Background(), "check/k", []byte("v"))
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		40 * time.Millisecond, 40 * time.Millisecond,
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full: %v)", i, slept[i], want[i], slept)
+		}
+	}
+}
+
+// TestRetryHonorsContextDuringBackoff checks cancellation interrupts the
+// sleep between attempts rather than burning the full budget.
+func TestRetryHonorsContextDuringBackoff(t *testing.T) {
+	inner := &flakyBackend{inner: NewMem(), failEvery: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Retry{Inner: inner, Attempts: 10, sleep: func(ctx context.Context, _ time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}}
+	if err := r.Write(ctx, "check/k", []byte("v")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := inner.ops.Load(); got != 1 {
+		t.Fatalf("inner saw %d attempts, want 1 (kept going after cancel)", got)
+	}
+}
+
+// TestRetryCustomTransient checks the classifier override is honored.
+func TestRetryCustomTransient(t *testing.T) {
+	inner := &flakyBackend{inner: NewMem(), failEvery: 1}
+	r := noSleep(&Retry{Inner: inner, Attempts: 5, Transient: func(error) bool { return false }})
+	if err := r.Write(context.Background(), "check/k", []byte("v")); !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want errTransient", err)
+	}
+	if got := inner.ops.Load(); got != 1 {
+		t.Fatalf("inner saw %d attempts, want 1 (classifier ignored)", got)
+	}
+}

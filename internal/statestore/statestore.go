@@ -29,6 +29,10 @@ import (
 // ErrNotFound is returned by Read when the key has no value.
 var ErrNotFound = errors.New("statestore: key not found")
 
+// ErrInvalidKey is wrapped by every built-in backend when a key fails
+// ValidKey. It is a permanent error — Retry never retries it.
+var ErrInvalidKey = errors.New("statestore: invalid key")
+
 // Backend is the pluggable persistence provider. Keys are validated by
 // ValidKey; implementations may reject others.
 type Backend interface {
@@ -68,7 +72,7 @@ func ValidKey(key string) bool {
 // checkKey returns the error all built-in backends report for a bad key.
 func checkKey(key string) error {
 	if !ValidKey(key) {
-		return fmt.Errorf("statestore: invalid key %q", key)
+		return fmt.Errorf("%w: %q", ErrInvalidKey, key)
 	}
 	return nil
 }

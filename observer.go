@@ -21,6 +21,10 @@ const (
 	// (Node, Round = the node's new round counter, Value = its new
 	// estimate, Range = fault-free range after the change).
 	EventNodeUpdate
+	// EventCoordinator summarizes a distributed call's scheduling after the
+	// work completes (Name = the coordinator's listen address, Done = jobs
+	// granted, Total = workers that joined).
+	EventCoordinator
 )
 
 // Event is one streaming progress report. Only the fields documented for

@@ -107,6 +107,8 @@ type config struct {
 	stallAfter    time.Duration
 	stateDir      string
 	backend       statestore.Backend
+	coordAddr     string
+	workerPool    int
 	err           error // first option-level error, surfaced by the entry points
 }
 
@@ -376,6 +378,41 @@ func WithBackend(b StateBackend) Option {
 			return
 		}
 		c.backend = b
+	}
+}
+
+// WithCoordinator makes Check, MaxF, and Sweep run as a distributed
+// coordinator: the call binds a job port at addr ("host:port"; ":0" picks a
+// free port), partitions its work into leased job ranges, and serves them to
+// workers that join via Work or `iabc work -join`. Results — verdicts,
+// witnesses, work counters, traces — are identical to the single-process
+// run, including when workers crash mid-lease; combine with WithStateDir or
+// WithBackend for a durable frontier that survives coordinator restarts
+// too. Without WithWorkerPool the call waits for remote workers to join.
+func WithCoordinator(addr string) Option {
+	return func(c *config) {
+		if addr == "" {
+			c.fail(fmt.Errorf("iabc: WithCoordinator(\"\")"))
+			return
+		}
+		c.coordAddr = addr
+	}
+}
+
+// WithWorkerPool distributes the call across n in-process workers joined to
+// the call's own coordinator (an ephemeral loopback port unless
+// WithCoordinator gives it a public one — the two compose). Unlike
+// WithWorkers, the work flows through the full job protocol: leases,
+// stealing, and the durable frontier behave exactly as in a multi-machine
+// deployment, which makes a pool of one a deterministic end-to-end test of
+// a distributed setup.
+func WithWorkerPool(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.fail(fmt.Errorf("iabc: WithWorkerPool(%d): need at least one worker", n))
+			return
+		}
+		c.workerPool = n
 	}
 }
 

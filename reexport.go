@@ -10,7 +10,6 @@ package iabc
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"iabc/internal/adversary"
 	"iabc/internal/analysis"
@@ -125,40 +124,16 @@ type (
 // AdversaryByName resolves a built-in strategy by CLI name, seeding
 // randomized ones from seed. See AdversaryNames for the accepted names.
 func AdversaryByName(name string, seed int64) (Strategy, error) {
-	switch name {
-	case "", "none", "conforming":
-		return Conforming{}, nil
-	case "fixed-high":
-		return Fixed{Value: 1e6}, nil
-	case "fixed-low":
-		return Fixed{Value: -1e6}, nil
-	case "silent":
-		return Silent{}, nil
-	case "noise":
-		return &RandomNoise{Rng: rand.New(rand.NewSource(seed)), Lo: -1e3, Hi: 1e3}, nil
-	case "extremes":
-		return Extremes{Amplitude: 100}, nil
-	case "hug-high":
-		return Hug{High: true}, nil
-	case "hug-low":
-		return Hug{}, nil
-	case "insider-high":
-		return &Insider{High: true}, nil
-	case "insider-low":
-		return &Insider{}, nil
-	default:
+	strat, err := adversary.ByName(name, seed)
+	if err != nil {
 		return nil, fmt.Errorf("iabc: unknown adversary %q (want one of %v)", name, AdversaryNames())
 	}
+	return strat, nil
 }
 
 // AdversaryNames lists the names AdversaryByName accepts (the canonical
 // name per strategy; "" and "none" are aliases of "conforming").
-func AdversaryNames() []string {
-	return []string{
-		"conforming", "fixed-high", "fixed-low", "silent", "noise",
-		"extremes", "hug-high", "hug-low", "insider-high", "insider-low",
-	}
-}
+func AdversaryNames() []string { return adversary.Names() }
 
 // —— Simulation results and sweep inputs ——
 
